@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure.  Rendered tables are
+written to ``benchmarks/results/*.txt`` and printed, so the bench run
+leaves a complete record of the reproduced numbers (EXPERIMENTS.md
+summarizes them against the paper's).
+
+Scale note: suite populations are generated at SCALE < 1 of Table 1's
+program counts/sizes so the pure-Python toolchain finishes in minutes;
+the *relative* metrics (reductions, ratios, orderings) are what the
+paper's claims are about.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.baselines import K2Config, K2Optimizer
+from repro.eval import NetworkEval
+from repro.workloads.suites import generate_suite
+from repro.workloads.xdp import ALL_XDP, BY_NAME, FORWARDING, compile_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: suite generation scale (fraction of Table 1 sizes; counts capped)
+SCALE = 0.2
+SUITE_COUNT = 12
+SEED = 2024
+
+K2_ITERATIONS = 2000
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def xdp_programs():
+    """name -> (baseline, merlin) for all 19 XDP workloads."""
+    return {
+        w.name: (compile_workload(w), compile_workload(w, optimize=True))
+        for w in ALL_XDP
+    }
+
+
+@pytest.fixture(scope="session")
+def suites():
+    """suite name -> list of generated SuiteProgram."""
+    return {
+        name: generate_suite(name, seed=SEED, scale=SCALE, count=SUITE_COUNT)
+        for name in ("sysdig", "tetragon", "tracee")
+    }
+
+
+@pytest.fixture(scope="session")
+def forwarding_perfs(xdp_programs):
+    """Measured clang/k2/merlin PacketPerf for the 4 forwarding programs."""
+    ev = NetworkEval(packets=600, warmup=100)
+    perfs = {}
+    for name in FORWARDING:
+        baseline, merlin = xdp_programs[name]
+        k2 = K2Optimizer(K2Config(iterations=K2_ITERATIONS)).optimize(baseline)
+        perfs[name] = {
+            "clang": ev.measure(baseline, f"{name}/clang"),
+            "k2": ev.measure(k2.program, f"{name}/k2"),
+            "merlin": ev.measure(merlin, f"{name}/merlin"),
+        }
+    return ev, perfs

@@ -1,0 +1,41 @@
+"""Paper Fig. 10f: verifier NPI and verification-time reductions."""
+
+from repro.eval import compare_verifier_cost, pct, render_table
+from repro.workloads.suites import compile_suite_program
+from conftest import emit
+
+
+def test_fig10f_verifier_cost(benchmark, xdp_programs, suites):
+    def build():
+        rows = []
+        pairs = [(name, base, opt)
+                 for name, (base, opt) in xdp_programs.items()]
+        for program in suites["sysdig"][:6]:
+            pairs.append((
+                program.name,
+                compile_suite_program(program),
+                compile_suite_program(program, optimize=True),
+            ))
+        for name, base, opt in pairs:
+            cmp = compare_verifier_cost(base, opt, name=name)
+            rows.append([
+                name[:34], cmp.npi_before, cmp.npi_after,
+                pct(cmp.npi_reduction), pct(cmp.time_reduction),
+                "yes" if cmp.both_ok else "NO",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    npi_reds = [float(r[3].rstrip("%")) for r in rows]
+    time_reds = [float(r[4].rstrip("%")) for r in rows]
+    rows.append(["AVERAGE", "", "",
+                 f"{sum(npi_reds)/len(npi_reds):.2f}%",
+                 f"{sum(time_reds)/len(time_reds):.2f}%", ""])
+    emit("fig10f_verifier_stats", render_table(
+        ["Program", "NPI", "NPI'", "NPI red.", "Time red.", "Both verify"],
+        rows,
+        title="Fig 10f: verifier cost (paper: NPI up to 89.6%, avg 17.1%; "
+              "time up to 85.2%, avg 25.4%)",
+    ))
+    assert all(r[-1] != "NO" for r in rows[:-1])
+    assert sum(npi_reds) / len(npi_reds) > 5.0

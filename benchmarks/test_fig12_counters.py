@@ -1,0 +1,58 @@
+"""Paper Fig. 12: hardware counters of the security applications
+(instructions, CPU cycles, cache and branch stats as % of original)."""
+
+import pytest
+
+from repro.eval import SecuritySystem, render_table
+from repro.workloads.suites import PROFILES
+from repro.workloads.syscalls import LMBENCH_TESTS, POSTMARK
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def sysdig_pair(suites):
+    programs = suites["sysdig"]
+    return (
+        SecuritySystem.from_suite("sysdig", programs, optimize=False,
+                                  mcpu=PROFILES["sysdig"].mcpu),
+        SecuritySystem.from_suite("sysdig+merlin", programs, optimize=True,
+                                  mcpu=PROFILES["sysdig"].mcpu),
+    )
+
+
+def test_fig12_security_counters(benchmark, sysdig_pair):
+    original, merlin = sysdig_pair
+
+    def build():
+        rows = []
+        workloads = [(t.name, t.events) for t in LMBENCH_TESTS]
+        workloads.append((POSTMARK.name, POSTMARK.events))
+        for name, events in workloads:
+            orig = original.event_counters(events)
+            opt = merlin.event_counters(events)
+            if orig.instructions == 0:
+                continue
+            rows.append([
+                name,
+                orig.instructions, opt.instructions,
+                f"{opt.instructions / orig.instructions:.2%}",
+                orig.cycles, opt.cycles,
+                f"{opt.cycles / max(orig.cycles, 1):.2%}",
+                f"{orig.cache_miss_rate:.3f}", f"{opt.cache_miss_rate:.3f}",
+                f"{orig.branch_miss_rate:.3f}", f"{opt.branch_miss_rate:.3f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig12_security_counters", render_table(
+        ["Test", "Insns w/o", "Insns w/", "Insn %", "Cycles w/o",
+         "Cycles w/", "Cycle %", "CMiss w/o", "CMiss w/", "BMiss w/o",
+         "BMiss w/"],
+        rows,
+        title="Fig 12: security-app hardware counters (paper: Merlin saves "
+              "instructions and CPU cycles on every test; cache/branch "
+              "miss deltas are noise at micro scale)",
+    ))
+    for row in rows:
+        assert row[2] <= row[1], row[0]  # never more instructions
+        assert row[5] <= row[4], row[0]  # never more cycles

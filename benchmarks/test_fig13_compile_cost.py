@@ -1,0 +1,75 @@
+"""Paper Fig. 13: Merlin's compilation costs — per-optimizer time vs
+program size (13a) and the comparison against K2 (13b)."""
+
+from repro.eval import (
+    compare_with_k2,
+    measure_compile_cost,
+    render_table,
+)
+from repro.isa import ProgramType
+from repro.workloads.suites import PROFILES, TRACE_CTX_SIZE
+from repro.workloads.xdp import ALL_XDP, BY_NAME
+from conftest import emit
+
+OPTIMIZER_LABELS = ("DAO", "MoF", "Dep", "CC", "PO", "SLM", "CP/DCE")
+
+
+def test_fig13a_per_optimizer_cost(benchmark, suites):
+    def build():
+        rows = []
+        cases = [(w.name, w.source, w.entry, ProgramType.XDP, "v2", 24)
+                 for w in ALL_XDP[:8]]
+        for program in suites["sysdig"][:4]:
+            cases.append((program.name, program.source, program.entry,
+                          ProgramType.TRACEPOINT,
+                          PROFILES["sysdig"].mcpu, TRACE_CTX_SIZE))
+        for name, source, entry, prog_type, mcpu, ctx_size in cases:
+            cost = measure_compile_cost(source, entry, name=name,
+                                        prog_type=prog_type, mcpu=mcpu,
+                                        ctx_size=ctx_size)
+            row = [name[:34], cost.ni, f"{cost.total_seconds:.4f}"]
+            row += [f"{cost.per_optimizer.get(label, 0.0) * 1000:.2f}"
+                    for label in OPTIMIZER_LABELS]
+            rows.append((cost.ni, row))
+        rows.sort(key=lambda pair: pair[0])
+        return [row for _, row in rows]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig13a_compile_cost", render_table(
+        ["Program", "NI", "Total (s)"] + [f"{l} (ms)"
+                                          for l in OPTIMIZER_LABELS],
+        rows,
+        title="Fig 13a: compile cost per optimizer vs program size "
+              "(paper: avg 0.035s on XDP, ~linear in NI, Dep/static "
+              "analysis dominates)",
+    ))
+    totals = [float(r[2]) for r in rows]
+    assert totals[-1] >= totals[0]  # grows with size overall
+
+
+def test_fig13b_merlin_vs_k2(benchmark):
+    def build():
+        rows = []
+        for name in ("xdp1", "xdp2", "xdp_router_ipv4", "xdp_fwd",
+                     "xdp-balancer"):
+            w = BY_NAME[name]
+            cmp = compare_with_k2(w.source, w.entry, name=name)
+            rows.append([
+                name, cmp.ni, f"{cmp.merlin_seconds:.4f}",
+                f"{cmp.k2_seconds:.2f}",
+                f"{cmp.speedup:,.0f}x" if cmp.k2_supported else "n/a",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig13b_merlin_vs_k2_time", render_table(
+        ["Program", "NI", "Merlin (s)", "K2 (s)", "Speedup"],
+        rows,
+        title="Fig 13b: optimization time, Merlin vs K2 (paper: ~10^6x; "
+              "here K2 runs a reduced search budget, so the measured gap "
+              "is 10^2-10^4x and grows with program size — K2's full "
+              "search on xdp-balancer took 2 days on real hardware)",
+    ))
+    speedups = [float(r[4].rstrip("x").replace(",", ""))
+                for r in rows if r[4] != "n/a"]
+    assert all(s > 10 for s in speedups)

@@ -1,0 +1,33 @@
+"""Paper Table 1: details of the benchmark populations."""
+
+from repro.eval import render_table
+from repro.workloads.suites import PROFILES, compile_suite_program
+from conftest import SCALE, emit
+
+
+def test_table1_benchmark_details(benchmark, xdp_programs, suites):
+    def build():
+        rows = []
+        xdp_sizes = [base.ni for base, _ in xdp_programs.values()]
+        rows.append([
+            "XDP", len(xdp_sizes), max(xdp_sizes), min(xdp_sizes),
+            sum(xdp_sizes) // len(xdp_sizes), "v2",
+        ])
+        for name, programs in suites.items():
+            sizes = [compile_suite_program(p).ni for p in programs]
+            profile = PROFILES[name]
+            rows.append([
+                f"{name.capitalize()} (scale={SCALE})", len(sizes),
+                max(sizes), min(sizes), sum(sizes) // len(sizes),
+                profile.mcpu,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table1_benchmarks", render_table(
+        ["Suite", "Programs", "Largest", "Smallest", "Average", "mcpu"],
+        rows,
+        title="Table 1: Details of Benchmarks (paper: XDP 19/1771/18/141; "
+              "Sysdig 168/33765/180/1094; Tetragon 186/15673/21/3405; "
+              "Tracee 129/16633/29/2654)",
+    ))

@@ -1,0 +1,52 @@
+"""Paper Table 2: limitations of K2 vs Merlin (feature matrix,
+demonstrated empirically rather than just asserted)."""
+
+from repro.baselines import K2Optimizer, K2_PRACTICAL_SIZE, K2_SUPPORTED_HELPERS
+from repro.core import MerlinPipeline
+from repro.eval import render_table
+from repro.isa import BpfProgram, ProgramType, assemble
+from repro.verifier import DEFAULT_KERNEL
+from repro.workloads.suites import compile_suite_program
+from conftest import emit
+
+
+def test_table2_limitations(benchmark, suites):
+    def build():
+        k2 = K2Optimizer()
+        # 1. instruction set: K2 supports v2 XDP only; Merlin any class
+        tracepoint = compile_suite_program(suites["tracee"][0])
+        k2_tp = k2.optimize(tracepoint)
+        merlin_tp, _ = MerlinPipeline().optimize_program(tracepoint)
+        # 2. helpers: K2 rejects unmodelled helpers
+        perf_prog = BpfProgram("p", assemble("call 25\nexit"))
+        k2_helper_ok, _ = k2.check_supported(perf_prog)
+        # 3. size: K2's budget collapses on big programs
+        small_budget = k2._iteration_budget(100)
+        big_budget = k2._iteration_budget(20000)
+        return {
+            "k2_tracepoint_supported": k2_tp.supported,
+            "merlin_tracepoint_shrunk": merlin_tp.ni <= tracepoint.ni,
+            "k2_helper_supported": k2_helper_ok,
+            "k2_budget_small": small_budget,
+            "k2_budget_big": big_budget,
+        }
+
+    facts = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        ["Instruction set", "v2, XDP only", "any (v2/v3, all classes)"],
+        ["Helper functions",
+         f"limited ({len(K2_SUPPORTED_HELPERS)} modelled)", "all"],
+        ["Maps", "limited", "all"],
+        ["Practical size*",
+         f"<{K2_PRACTICAL_SIZE} (budget {facts['k2_budget_big']} proposals "
+         f"at NI=20000 vs {facts['k2_budget_small']} at NI=100)",
+         f"{DEFAULT_KERNEL.max_insns:,} (verifier limit)"],
+    ]
+    emit("table2_limitations", render_table(
+        ["Dimension", "K2", "Merlin"], rows,
+        title="Table 2: Limitation of K2 and Merlin",
+    ))
+    assert not facts["k2_tracepoint_supported"]
+    assert facts["merlin_tracepoint_shrunk"]
+    assert not facts["k2_helper_supported"]
+    assert facts["k2_budget_big"] < facts["k2_budget_small"]

@@ -1,0 +1,81 @@
+"""Paper Table 4: security-application runtime overhead under lmbench
+and postmark, with Equation-1 overhead reductions."""
+
+import pytest
+
+from repro.eval import (
+    SecuritySystem,
+    average_reduction,
+    pct,
+    render_table,
+    run_lmbench,
+    run_postmark,
+)
+from repro.workloads.suites import PROFILES
+from conftest import emit
+
+PAPER_AVG = {"sysdig": "23.19%", "tetragon": "14.20%", "tracee": "8.67%"}
+
+
+@pytest.fixture(scope="module")
+def systems(suites):
+    built = {}
+    for name, programs in suites.items():
+        built[name] = (
+            SecuritySystem.from_suite(name, programs, optimize=False,
+                                      mcpu=PROFILES[name].mcpu),
+            SecuritySystem.from_suite(f"{name}+merlin", programs,
+                                      optimize=True,
+                                      mcpu=PROFILES[name].mcpu),
+        )
+    return built
+
+
+def test_table4_lmbench_and_postmark(benchmark, systems):
+    def build():
+        table = {}
+        for name, (original, merlin) in systems.items():
+            micro = run_lmbench(original, merlin)
+            macro = run_postmark(original, merlin)
+            table[name] = (micro, macro)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    first_suite = next(iter(table))
+    for index, micro_row in enumerate(table[first_suite][0]):
+        row = [micro_row.test, f"{micro_row.vanilla_us:.2f}"]
+        for name in table:
+            r = table[name][0][index]
+            row += [f"{r.with_original_us:.2f}", f"{r.with_merlin_us:.2f}",
+                    pct(r.reduction)]
+        rows.append(row)
+    avg_row = ["Average", ""]
+    for name in table:
+        avg_row += ["", "", pct(average_reduction(table[name][0]))]
+    rows.append(avg_row)
+    pm_row = ["Postmark (s)", f"{table[first_suite][1].vanilla_us:.2f}"]
+    for name in table:
+        macro = table[name][1]
+        pm_row += [f"{macro.with_original_us:.2f}",
+                   f"{macro.with_merlin_us:.2f}", pct(macro.reduction)]
+    rows.append(pm_row)
+
+    headers = ["Test", "Vanilla"]
+    for name in table:
+        headers += [f"{name} w/o", f"{name} w/", f"{name} red."]
+    emit("table4_overhead", render_table(
+        headers, rows,
+        title="Table 4: Security application benchmarks (lmbench us / "
+              f"postmark s). Paper averages: {PAPER_AVG}",
+    ))
+
+    for name, (micro, macro) in table.items():
+        assert average_reduction(micro) > 0, name
+        assert macro.reduction >= 0, name
+    # ordering: Sysdig benefits most (paper: 23.19% > 14.20% > 8.67%)
+    reductions = {name: average_reduction(micro)
+                  for name, (micro, _) in table.items()}
+    assert reductions["sysdig"] > reductions["tetragon"]
+    assert reductions["sysdig"] > reductions["tracee"]

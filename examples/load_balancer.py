@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The paper's flagship workload: the Katran-style xdp-balancer.
+
+Compiles the load balancer with the native pipeline, with Merlin, and
+with the K2 baseline; then measures throughput and latency on generated
+traffic (the reproduction of Table 3's xdp-balancer row and the Fig. 14
+case study).
+
+Run:  python examples/load_balancer.py
+"""
+
+from repro.baselines import K2Config, K2Optimizer
+from repro.core import MerlinPipeline
+from repro.eval import NetworkEval, STAGE_ORDER, render_table
+from repro.frontend import compile_source
+from repro.codegen import compile_function
+from repro.workloads.xdp import BY_NAME
+
+
+def main() -> None:
+    workload = BY_NAME["xdp-balancer"]
+    ev = NetworkEval(packets=500, warmup=100)
+
+    module = compile_source(workload.source, workload.name)
+    baseline = compile_function(module.get(workload.entry), module,
+                                ctx_size=24)
+    module = compile_source(workload.source, workload.name)
+    merlin, report = MerlinPipeline().compile(
+        module.get(workload.entry), module, ctx_size=24)
+    print(f"compiling xdp-balancer: {baseline.ni} -> {merlin.ni} insns "
+          f"({report.ni_reduction:.1%} reduction) in "
+          f"{report.compile_seconds:.3f}s")
+
+    print("running K2's stochastic search (this is the slow part)...")
+    k2 = K2Optimizer(K2Config(iterations=1500)).optimize(baseline)
+    print(f"K2: {k2.ni_before} -> {k2.ni_after} insns in {k2.seconds:.1f}s "
+          f"({k2.iterations} proposals, {k2.accepted} accepted)")
+
+    perfs = {
+        "clang": ev.measure(baseline, "clang"),
+        "k2": ev.measure(k2.program, "k2"),
+        "merlin": ev.measure(merlin, "merlin"),
+    }
+    clang_mpps = perfs["clang"].throughput_mpps
+    rows = []
+    for variant, perf in perfs.items():
+        rows.append([
+            variant,
+            f"{perf.throughput_mpps:.3f}",
+            f"{perf.cycles_per_packet:.0f}",
+            f"{ev.latency_us(perf, 0.7 * clang_mpps):.2f}",
+            f"{ev.latency_us(perf, clang_mpps):.2f}",
+            f"{perf.counters.cache_misses}",
+        ])
+    print()
+    print(render_table(
+        ["Variant", "Tput (Mpps)", "Cycles/pkt", "Lat@low (us)",
+         "Lat@med (us)", "Cache misses"],
+        rows, title="xdp-balancer: clang vs K2 vs Merlin"))
+
+    # Fig 14: cumulative optimizer application
+    print("\ncumulative optimizer application (Fig 14):")
+    stage_rows = []
+    for index in range(len(STAGE_ORDER)):
+        module = compile_source(workload.source, workload.name)
+        pipeline = MerlinPipeline(enabled=set(STAGE_ORDER[: index + 1]))
+        program, _ = pipeline.compile(module.get(workload.entry), module,
+                                      ctx_size=24)
+        perf = ev.measure(program)
+        stage_rows.append([f"+{STAGE_ORDER[index]}", program.ni,
+                           f"{perf.throughput_mpps:.3f}"])
+    print(render_table(["Stage", "NI", "Tput (Mpps)"], stage_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: compile an XDP program, optimize it with Merlin, verify
+it against the kernel-verifier model, and run it over packets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_baseline, compile_bpf, optimize, verify
+from repro.isa import disassemble
+from repro.vm import Machine
+from repro.workloads.packets import build_packet
+
+SOURCE = """
+map array port_hits(u32, u64, 16);
+
+u32 filter_tcp(u8* ctx) {
+    u64 data = ctx->data;
+    u64 end = ctx->data_end;
+
+    // bounds check first: the verifier insists
+    if (data + 38 > end) { return XDP_PASS; }
+
+    u16 eth_proto = *(u16*)(data + 12);
+    if (eth_proto != 0x0800) { return XDP_PASS; }
+
+    u8 ip_proto = *(u8*)(data + 23);
+    if (ip_proto != 6) { return XDP_PASS; }
+
+    u16 dport = *(u16*)(data + 36);
+    u32 key = (u32)dport & 0xf;
+    u64* hits = map_lookup(port_hits, &key);
+    if (hits != 0) {
+        *hits += 1;
+    }
+    if (dport == 22) { return XDP_DROP; }
+    return XDP_PASS;
+}
+"""
+
+
+def main() -> None:
+    # 1. the native pipeline ("clang -O2" + "llc")
+    baseline = compile_baseline(compile_bpf(SOURCE), "filter_tcp")
+    print(f"baseline: {baseline.ni} instructions")
+
+    # 2. the same source through Merlin's two optimization tiers
+    optimized, report = optimize(compile_bpf(SOURCE), "filter_tcp")
+    print(f"merlin:   {optimized.ni} instructions "
+          f"({report.ni_reduction:.1%} smaller)")
+    for stat in report.pass_stats:
+        if stat.rewrites:
+            print(f"  {stat.tier:8s} {stat.name:14s} {stat.rewrites} rewrites")
+
+    # 3. both must pass the kernel verifier
+    for name, program in (("baseline", baseline), ("merlin", optimized)):
+        result = verify(program)
+        print(f"verify {name}: ok={result.ok} npi={result.npi} "
+              f"time={result.verification_time_ns / 1000:.1f}us")
+
+    # 4. run them over traffic and compare cost
+    ssh_packet = build_packet(64, dst_port=22)
+    web_packet = build_packet(64, dst_port=80)
+    for name, program in (("baseline", baseline), ("merlin", optimized)):
+        machine = Machine(program)
+        dropped = machine.run(packet=ssh_packet)
+        passed = machine.run(packet=web_packet)
+        print(f"{name}: ssh -> action {dropped.xdp_action} (1=DROP), "
+              f"web -> action {passed.xdp_action} (2=PASS), "
+              f"{passed.counters.cycles} cycles/packet")
+
+    # 5. inspect the optimized bytecode
+    print("\noptimized program:")
+    print(disassemble(optimized.insns))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Baselines Merlin is evaluated against (K2)."""
+
+from .equivalence import TestCase, equivalent, generate_tests, observable_state
+from .k2 import (
+    K2Config,
+    K2Optimizer,
+    K2Result,
+    K2_PRACTICAL_SIZE,
+    K2_SUPPORTED_HELPERS,
+    k2_optimize,
+)
+
+__all__ = [
+    "TestCase",
+    "equivalent",
+    "generate_tests",
+    "observable_state",
+    "K2Config",
+    "K2Optimizer",
+    "K2Result",
+    "K2_PRACTICAL_SIZE",
+    "K2_SUPPORTED_HELPERS",
+    "k2_optimize",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the real eBPF workflow:
+
+* ``compile``  — mini-C source -> eBPF assembly (optionally via Merlin)
+* ``verify``   — run the kernel-verifier model over a program
+* ``run``      — execute a program on a packet or context
+* ``optimize`` — show Merlin's per-pass report for a source file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import XDP_CTX_SIZE, compile_baseline, compile_bpf, optimize as _optimize
+from .isa import ProgramType, disassemble
+from .verifier import KERNELS, verify as _verify
+from .vm import Machine
+from .workloads.packets import build_packet
+
+
+def _load(args) -> tuple:
+    source = open(args.source).read() if args.source != "-" else sys.stdin.read()
+    module = compile_bpf(source)
+    entry = args.entry or next(iter(module.functions))
+    return source, module, entry
+
+
+def _prog_kwargs(args) -> dict:
+    return dict(
+        prog_type=ProgramType(args.prog_type),
+        mcpu=args.mcpu,
+        ctx_size=args.ctx_size,
+    )
+
+
+def cmd_compile(args) -> int:
+    source, module, entry = _load(args)
+    if args.merlin:
+        program, report = _optimize(compile_bpf(source), entry,
+                                    kernel=KERNELS[args.kernel],
+                                    **_prog_kwargs(args))
+        print(f"; merlin: {report.ni_original} -> {report.ni_optimized} "
+              f"insns ({report.ni_reduction:.1%} reduction)", file=sys.stderr)
+    else:
+        program = compile_baseline(module, entry, **_prog_kwargs(args))
+        print(f"; baseline: {program.ni} insns", file=sys.stderr)
+    print(disassemble(program.insns))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    source, module, entry = _load(args)
+    if args.merlin:
+        program, _ = _optimize(compile_bpf(source), entry,
+                               kernel=KERNELS[args.kernel],
+                               **_prog_kwargs(args))
+    else:
+        program = compile_baseline(module, entry, **_prog_kwargs(args))
+    result = _verify(program, KERNELS[args.kernel])
+    print(f"ok={result.ok} npi={result.npi} states={result.total_states} "
+          f"peak={result.peak_states} "
+          f"time={result.verification_time_ns / 1000:.1f}us")
+    if not result.ok:
+        print(f"rejected: {result.reason}")
+    return 0 if result.ok else 1
+
+
+def cmd_run(args) -> int:
+    source, module, entry = _load(args)
+    if args.merlin:
+        program, _ = _optimize(compile_bpf(source), entry,
+                               **_prog_kwargs(args))
+    else:
+        program = compile_baseline(module, entry, **_prog_kwargs(args))
+    machine = Machine(program)
+    if args.prog_type == "xdp":
+        packet = build_packet(args.packet_size, dst_port=args.dst_port)
+        result = machine.run(packet=packet)
+        actions = {0: "ABORTED", 1: "DROP", 2: "PASS", 3: "TX", 4: "REDIRECT"}
+        print(f"action={actions.get(result.xdp_action, result.xdp_action)} "
+              f"r0={result.return_value}")
+    else:
+        ctx = bytes(args.ctx_size)
+        result = machine.run(ctx=ctx)
+        print(f"r0={result.return_value}")
+    counters = result.counters
+    print(f"instructions={counters.instructions} cycles={counters.cycles} "
+          f"cache_refs={counters.cache_references} "
+          f"cache_misses={counters.cache_misses}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    source, module, entry = _load(args)
+    program, report = _optimize(compile_bpf(source), entry,
+                                kernel=KERNELS[args.kernel],
+                                **_prog_kwargs(args))
+    print(f"{report.name}: NI {report.ni_original} -> "
+          f"{report.ni_optimized} ({report.ni_reduction:.1%}) in "
+          f"{report.compile_seconds:.3f}s")
+    for stat in report.pass_stats:
+        marker = f"{stat.rewrites:4d} rewrites" if stat.rewrites else "   -"
+        print(f"  [{stat.tier:8s}] {stat.name:14s} {marker}  "
+              f"{stat.time_seconds * 1000:7.2f}ms")
+    result = _verify(program, KERNELS[args.kernel])
+    print(f"verifier: ok={result.ok} npi={result.npi}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Merlin eBPF optimizer reproduction (ASPLOS'24)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (("compile", cmd_compile), ("verify", cmd_verify),
+                          ("run", cmd_run), ("optimize", cmd_optimize)):
+        p = sub.add_parser(name)
+        p.add_argument("source", help="mini-C source file ('-' for stdin)")
+        p.add_argument("--entry", help="entry function (default: first)")
+        p.add_argument("--merlin", action="store_true",
+                       help="apply Merlin's optimizations")
+        p.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+        p.add_argument("--prog-type", default="xdp",
+                       choices=[t.value for t in ProgramType])
+        p.add_argument("--mcpu", default="v2", choices=["v2", "v3"])
+        p.add_argument("--ctx-size", type=int, default=XDP_CTX_SIZE)
+        if name == "run":
+            p.add_argument("--packet-size", type=int, default=64)
+            p.add_argument("--dst-port", type=int, default=80)
+        p.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

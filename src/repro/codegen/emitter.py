@@ -1,0 +1,70 @@
+"""Final emission: resolve labels to slot-relative offsets, build the
+:class:`~repro.isa.program.BpfProgram`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import BpfProgram, Instruction, ProgramType
+from ..isa import opcodes as op
+from .lowfunc import Label, LowFunction, LowInsn, is_vreg
+
+
+class EmissionError(Exception):
+    """Raised when a LowFunction cannot be emitted (unresolved labels,
+    leftover virtual registers, out-of-range branch offsets)."""
+
+
+def emit(
+    low: LowFunction,
+    prog_type: ProgramType = ProgramType.XDP,
+    maps: Optional[Dict[str, object]] = None,
+    mcpu: str = "v2",
+    ctx_size: int = 64,
+) -> BpfProgram:
+    """Resolve labels and produce a loadable program."""
+    # slot offset of each instruction and of each label
+    label_slot: Dict[str, int] = {}
+    slots: List[int] = []
+    slot = 0
+    for item in low.items:
+        if isinstance(item, Label):
+            if item.name in label_slot:
+                raise EmissionError(f"duplicate label {item.name!r}")
+            label_slot[item.name] = slot
+        else:
+            slots.append(slot)
+            slot += item.insn.slots
+    end_slot = slot
+
+    insns: List[Instruction] = []
+    index = 0
+    for item in low.items:
+        if isinstance(item, Label):
+            continue
+        insn = item.insn
+        for reg in (insn.dst, insn.src):
+            if is_vreg(reg):
+                raise EmissionError(
+                    f"virtual register v{reg} survived allocation in "
+                    f"{low.name}"
+                )
+        if item.target is not None:
+            if item.target not in label_slot:
+                # labels at the very end of the function resolve to end
+                raise EmissionError(f"undefined label {item.target!r}")
+            rel = label_slot[item.target] - (slots[index] + insn.slots)
+            if not -(1 << 15) <= rel < (1 << 15):
+                raise EmissionError(f"branch offset {rel} out of 16-bit range")
+            insn = insn.with_(off=rel)
+        insns.append(insn)
+        index += 1
+
+    return BpfProgram(
+        name=low.name,
+        insns=insns,
+        prog_type=prog_type,
+        maps=dict(maps or {}),
+        mcpu=mcpu,
+        ctx_size=ctx_size,
+    )

@@ -1,0 +1,293 @@
+"""Linear-scan register allocation onto the ten eBPF registers.
+
+r0-r7 are allocatable (r6/r7 only for intervals that live across helper
+calls, since calls clobber r0-r5); r8/r9 are reserved as spill scratch;
+r10 is the read-only frame pointer.  Spilled virtual registers live in
+8-byte stack slots below the allocas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa import Instruction
+from ..isa import instruction as ins
+from ..isa import opcodes as op
+from .lowfunc import Label, LowFunction, LowInsn, is_vreg
+
+ALLOCATABLE = (op.R0, op.R1, op.R2, op.R3, op.R4, op.R5, op.R6, op.R7)
+CALL_SAFE = (op.R6, op.R7)
+SCRATCH_DEF = op.R8
+SCRATCH_USE = op.R9
+
+
+class AllocationError(Exception):
+    """Raised when allocation cannot make progress (should not happen)."""
+
+
+@dataclass
+class Interval:
+    reg: int  # virtual register id
+    start: int
+    end: int
+    phys: Optional[int] = None
+    slot: Optional[int] = None  # stack offset when spilled
+
+    @property
+    def spilled(self) -> bool:
+        return self.slot is not None
+
+
+@dataclass
+class _Block:
+    first: int
+    last: int
+    succs: List[int] = field(default_factory=list)
+    use: Set[int] = field(default_factory=set)
+    defs: Set[int] = field(default_factory=set)
+    live_in: Set[int] = field(default_factory=set)
+    live_out: Set[int] = field(default_factory=set)
+
+
+class LinearScanAllocator:
+    """Allocates a :class:`LowFunction` in place."""
+
+    def __init__(self, low: LowFunction):
+        self.low = low
+        self.insns: List[LowInsn] = list(low.insns())
+        self.label_pos: Dict[str, int] = self._label_positions()
+        self.intervals: Dict[int, Interval] = {}
+        self.call_regions: List[Tuple[int, int]] = []
+        self.phys_ranges: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _label_positions(self) -> Dict[str, int]:
+        positions: Dict[str, int] = {}
+        pos = 0
+        for item in self.low.items:
+            if isinstance(item, Label):
+                positions[item.name] = pos
+            else:
+                pos += 1
+        return positions
+
+    def run(self) -> LowFunction:
+        blocks = self._build_blocks()
+        self._solve_liveness(blocks)
+        self._build_intervals(blocks)
+        self._collect_call_regions()
+        self._collect_phys_ranges()
+        self._allocate()
+        self._rewrite()
+        return self.low
+
+    # ----------------------------------------------------------------- CFG
+    def _build_blocks(self) -> List[_Block]:
+        n = len(self.insns)
+        leaders = {0} | set(self.label_pos.values())
+        for i, low in enumerate(self.insns):
+            insn = low.insn
+            if insn.is_jump or insn.is_exit:
+                leaders.add(i + 1)
+        leaders = sorted(p for p in leaders if p < n)
+        blocks: List[_Block] = []
+        starts = leaders + [n]
+        index_of_start = {s: bi for bi, s in enumerate(leaders)}
+        for bi, start in enumerate(leaders):
+            block = _Block(first=start, last=starts[bi + 1] - 1)
+            last = self.insns[block.last].insn
+            target = self.insns[block.last].target
+            if last.is_exit:
+                pass
+            elif last.is_jump and not last.is_call:
+                if target is not None:
+                    block.succs.append(index_of_start[self.label_pos[target]])
+                if last.jmp_op != op.BPF_JA and block.last + 1 < n:
+                    block.succs.append(index_of_start[block.last + 1])
+            elif block.last + 1 < n:
+                block.succs.append(index_of_start[block.last + 1])
+            blocks.append(block)
+        for block in blocks:
+            for i in range(block.first, block.last + 1):
+                low = self.insns[i]
+                for reg in low.uses():
+                    if is_vreg(reg) and reg not in block.defs:
+                        block.use.add(reg)
+                for reg in low.defs():
+                    if is_vreg(reg):
+                        block.defs.add(reg)
+        return blocks
+
+    def _solve_liveness(self, blocks: List[_Block]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out: Set[int] = set()
+                for si in block.succs:
+                    out |= blocks[si].live_in
+                new_in = block.use | (out - block.defs)
+                if out != block.live_out or new_in != block.live_in:
+                    block.live_out = out
+                    block.live_in = new_in
+                    changed = True
+
+    def _build_intervals(self, blocks: List[_Block]) -> None:
+        def touch(reg: int, pos: int) -> None:
+            interval = self.intervals.get(reg)
+            if interval is None:
+                self.intervals[reg] = Interval(reg, pos, pos)
+            else:
+                interval.start = min(interval.start, pos)
+                interval.end = max(interval.end, pos)
+
+        for block in blocks:
+            for reg in block.live_in:
+                touch(reg, block.first)
+            for reg in block.live_out:
+                touch(reg, block.last)
+            for pos in range(block.first, block.last + 1):
+                low = self.insns[pos]
+                for reg in low.uses():
+                    if is_vreg(reg):
+                        touch(reg, pos)
+                for reg in low.defs():
+                    if is_vreg(reg):
+                        touch(reg, pos)
+
+    def _collect_call_regions(self) -> None:
+        groups: Dict[int, Tuple[int, int]] = {}
+        for pos, low in enumerate(self.insns):
+            if low.group is not None:
+                first, last = groups.get(low.group, (pos, pos))
+                groups[low.group] = (min(first, pos), max(last, pos))
+            elif low.insn.is_call:
+                groups.setdefault(-pos - 1, (pos, pos))
+        self.call_regions = sorted(groups.values())
+
+    def _collect_phys_ranges(self) -> None:
+        """Live ranges of *physical* registers (ABI args, call results)."""
+        last_def: Dict[int, int] = {reg: -1 for reg in op.ARG_REGS}
+        ranges: Dict[int, List[Tuple[int, int]]] = {}
+        group_args: Dict[int, Set[int]] = {}
+        for low in self.insns:
+            if low.group is not None and low.insn.is_alu and not is_vreg(low.insn.dst):
+                group_args.setdefault(low.group, set()).add(low.insn.dst)
+        for pos, low in enumerate(self.insns):
+            insn = low.insn
+            if insn.is_call:
+                used = group_args.get(low.group or 0, set())
+            else:
+                used = {r for r in low.uses() if not is_vreg(r)}
+            for reg in used:
+                if reg == op.FP or reg not in last_def:
+                    continue
+                ranges.setdefault(reg, []).append((last_def[reg], pos))
+            defs = {r for r in low.defs() if not is_vreg(r)}
+            if insn.is_call:
+                defs |= set(op.CALLER_SAVED)
+            for reg in defs:
+                last_def[reg] = pos
+        # merge ranges sharing a def point
+        merged: Dict[int, List[Tuple[int, int]]] = {}
+        for reg, pairs in ranges.items():
+            by_def: Dict[int, int] = {}
+            for start, end in pairs:
+                by_def[start] = max(by_def.get(start, start), end)
+            merged[reg] = sorted(by_def.items())
+        self.phys_ranges = merged
+
+    # ------------------------------------------------------------ allocation
+    def _crosses_call(self, interval: Interval) -> bool:
+        return any(
+            interval.start < call_pos and interval.end > region_start
+            for region_start, call_pos in self.call_regions
+        )
+
+    def _conflicts_phys(self, interval: Interval, phys: int) -> bool:
+        for start, end in self.phys_ranges.get(phys, ()):
+            if start < interval.end and end > interval.start:
+                return True
+        return False
+
+    def _allocate(self) -> None:
+        order = sorted(self.intervals.values(), key=lambda iv: (iv.start, iv.end))
+        active: List[Interval] = []
+        for interval in order:
+            active = [a for a in active if a.end > interval.start]
+            in_use = {a.phys for a in active if a.phys is not None}
+            pool = CALL_SAFE if self._crosses_call(interval) else ALLOCATABLE
+            choice = next(
+                (
+                    reg
+                    for reg in pool
+                    if reg not in in_use
+                    and not self._conflicts_phys(interval, reg)
+                ),
+                None,
+            )
+            if choice is not None:
+                interval.phys = choice
+                active.append(interval)
+                continue
+            # no register free: spill the conflicting interval ending last
+            candidates = [a for a in active if a.phys in pool] + [interval]
+            victim = max(candidates, key=lambda iv: iv.end)
+            if victim is interval:
+                interval.slot = self.low.alloc_stack(8, 8)
+            else:
+                interval.phys, victim.phys = victim.phys, None
+                victim.slot = self.low.alloc_stack(8, 8)
+                active.remove(victim)
+                active.append(interval)
+
+    # ------------------------------------------------------------- rewriting
+    def _map_reg(self, reg: int) -> Interval:
+        return self.intervals[reg]
+
+    def _rewrite(self) -> None:
+        new_items: List[object] = []
+        for item in self.low.items:
+            if isinstance(item, Label):
+                new_items.append(item)
+                continue
+            new_items.extend(self._rewrite_insn(item))
+        self.low.items = new_items
+
+    def _rewrite_insn(self, low: LowInsn) -> List[object]:
+        insn = low.insn
+        pre: List[LowInsn] = []
+        post: List[LowInsn] = []
+        fields: Dict[str, int] = {}
+        same = insn.dst == insn.src and is_vreg(insn.dst) and not insn.is_ld_imm64
+
+        roles = [("dst", insn.dst)]
+        if not same and not insn.is_ld_imm64:
+            roles.append(("src", insn.src))
+
+        for role, reg in roles:
+            if not is_vreg(reg):
+                continue
+            interval = self._map_reg(reg)
+            if interval.phys is not None:
+                fields[role] = interval.phys
+                if same and role == "dst":
+                    fields["src"] = interval.phys
+                continue
+            scratch = SCRATCH_DEF if role == "dst" else SCRATCH_USE
+            if reg in insn.uses():
+                pre.append(LowInsn(ins.load(8, scratch, op.FP, interval.slot)))
+            if reg in insn.defs():
+                post.append(LowInsn(ins.store_reg(8, op.FP, interval.slot, scratch)))
+            fields[role] = scratch
+            if same and role == "dst":
+                fields["src"] = scratch
+        if fields:
+            low.insn = insn.with_(**fields)
+        return pre + [low] + post
+
+
+def allocate(low: LowFunction) -> LowFunction:
+    """Run linear-scan allocation on *low* in place and return it."""
+    return LinearScanAllocator(low).run()

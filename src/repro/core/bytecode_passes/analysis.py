@@ -1,0 +1,188 @@
+"""Bytecode dependency analysis (the paper's "Dep" component).
+
+Builds a CFG over logical instruction indices and solves register
+liveness; the rewriting passes consult it to prove that a register is
+dead after an instruction (CP/DCE, peephole) or that no branch target
+splits a candidate pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ...isa import Instruction
+from ...isa import opcodes as op
+from .symbolic import SymbolicProgram, SymInsn
+
+
+def insn_uses(insn: Instruction) -> Set[int]:
+    """Registers read, conservatively (calls read all arg registers)."""
+    return set(insn.uses())
+
+
+def insn_defs(insn: Instruction) -> Set[int]:
+    """Registers written, including call clobbers of r1-r5."""
+    defs = set(insn.defs())
+    if insn.is_call:
+        defs.update(op.CALLER_SAVED)
+    return defs
+
+
+@dataclass
+class _Block:
+    first: int  # position into the live-instruction list
+    last: int
+    succs: List[int] = field(default_factory=list)
+    live_in: Set[int] = field(default_factory=set)
+    live_out: Set[int] = field(default_factory=set)
+
+
+class BytecodeAnalysis:
+    """Liveness + CFG facts for the live instructions of a symbolic
+    program.  Positions refer to indices in ``sym.insns`` (original
+    logical indices), restricted to non-deleted entries."""
+
+    def __init__(self, sym: SymbolicProgram):
+        self.sym = sym
+        self.live = sym.live_indices()
+        self.pos_of: Dict[int, int] = {idx: p for p, idx in enumerate(self.live)}
+        self.targets = sym.branch_targets()
+        self._resolved_targets = self._resolve_all_targets()
+        self._blocks = self._build_blocks()
+        self._solve()
+        self._live_after = self._per_insn_liveness()
+
+    def _resolve_all_targets(self) -> Set[int]:
+        resolved: Set[int] = set()
+        for target in self.targets:
+            idx = target
+            while idx < len(self.sym.insns) and self.sym.insns[idx].deleted:
+                idx += 1
+            resolved.add(idx)
+        return resolved
+
+    # --------------------------------------------------------------- building
+    def _resolve_target_pos(self, target: int) -> Optional[int]:
+        idx = target
+        while idx < len(self.sym.insns) and self.sym.insns[idx].deleted:
+            idx += 1
+        return self.pos_of.get(idx)
+
+    def _build_blocks(self) -> List[_Block]:
+        n = len(self.live)
+        leaders: Set[int] = {0} if n else set()
+        for target in self.targets:
+            pos = self._resolve_target_pos(target)
+            if pos is not None:
+                leaders.add(pos)
+        for p, idx in enumerate(self.live):
+            insn = self.sym.insns[idx].insn
+            if (insn.is_jump and not insn.is_call) or insn.is_exit:
+                if p + 1 < n:
+                    leaders.add(p + 1)
+        ordered = sorted(leaders)
+        block_of_pos = {}
+        blocks: List[_Block] = []
+        bounds = ordered + [n]
+        for bi, start in enumerate(ordered):
+            blocks.append(_Block(first=start, last=bounds[bi + 1] - 1))
+            block_of_pos[start] = bi
+        for bi, block in enumerate(blocks):
+            idx = self.live[block.last]
+            sym = self.sym.insns[idx]
+            insn = sym.insn
+            if insn.is_exit:
+                continue
+            if insn.is_jump and not insn.is_call:
+                if sym.target is not None:
+                    tpos = self._resolve_target_pos(sym.target)
+                    if tpos is not None:
+                        block.succs.append(block_of_pos[tpos])
+                if insn.jmp_op != op.BPF_JA and block.last + 1 < len(self.live):
+                    block.succs.append(block_of_pos[block.last + 1])
+            elif block.last + 1 < len(self.live):
+                block.succs.append(block_of_pos[block.last + 1])
+        return blocks
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self._blocks):
+                out: Set[int] = set()
+                for si in block.succs:
+                    out |= self._blocks[si].live_in
+                new_in = set(out)
+                for p in range(block.last, block.first - 1, -1):
+                    insn = self.sym.insns[self.live[p]].insn
+                    new_in -= insn_defs(insn)
+                    new_in |= insn_uses(insn)
+                if out != block.live_out or new_in != block.live_in:
+                    block.live_out = out
+                    block.live_in = new_in
+                    changed = True
+
+    def _per_insn_liveness(self) -> List[FrozenSet[int]]:
+        """live_after[p]: registers live immediately after position p."""
+        result: List[Optional[FrozenSet[int]]] = [None] * len(self.live)
+        for block in self._blocks:
+            live = set(block.live_out)
+            for p in range(block.last, block.first - 1, -1):
+                result[p] = frozenset(live)
+                insn = self.sym.insns[self.live[p]].insn
+                live -= insn_defs(insn)
+                live |= insn_uses(insn)
+        return [r if r is not None else frozenset() for r in result]
+
+    # ----------------------------------------------------------------- queries
+    def reg_dead_after(self, index: int, reg: int) -> bool:
+        """True when *reg* is not read after the instruction at logical
+        *index* before being redefined."""
+        pos = self.pos_of.get(index)
+        if pos is None:
+            raise KeyError(f"instruction {index} is deleted")
+        return reg not in self._live_after[pos]
+
+    def is_branch_target(self, index: int) -> bool:
+        return index in self._resolved_targets
+
+    def straightline(self, first: int, last: int) -> bool:
+        """True when control cannot enter or leave (first, last] except by
+        falling through: no branch targets strictly inside, and no jumps,
+        calls or exits in [first, last)."""
+        p1, p2 = self.pos_of.get(first), self.pos_of.get(last)
+        if p1 is None or p2 is None or p2 < p1:
+            return False
+        for p in range(p1, p2 + 1):
+            idx = self.live[p]
+            if p > p1 and self.is_branch_target(idx):
+                return False
+            insn = self.sym.insns[idx].insn
+            if p < p2 and (insn.is_jump or insn.is_exit):
+                return False
+        return True
+
+    def dead_defs(self) -> List[int]:
+        """Logical indices whose only effect is defining never-read,
+        side-effect-free registers (includes self-moves)."""
+        dead: List[int] = []
+        for p, idx in enumerate(self.live):
+            insn = self.sym.insns[idx].insn
+            if insn.is_memory or insn.is_call or insn.is_jump or insn.is_exit:
+                continue
+            if insn.is_alu or insn.is_ld_imm64:
+                # self-move: mov rX, rX is a no-op regardless of liveness
+                if (
+                    insn.is_alu
+                    and insn.alu_op == op.BPF_MOV
+                    and not insn.uses_imm
+                    and insn.dst == insn.src
+                    and insn.is_alu64
+                ):
+                    dead.append(idx)
+                    continue
+                defs = insn.defs()
+                if defs and all(reg not in self._live_after[p] for reg in defs):
+                    dead.append(idx)
+        return dead

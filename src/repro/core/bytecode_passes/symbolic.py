@@ -1,0 +1,130 @@
+"""Symbolic (index-relocated) view of a bytecode program.
+
+Bytecode rewriting changes instruction counts, which would silently
+corrupt every relative branch.  ``SymbolicProgram`` converts branch
+offsets into logical instruction indices, lets passes insert/delete/
+replace instructions freely, and recomputes correct slot-relative
+offsets on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ...isa import BpfProgram, Instruction
+
+
+class RelocationError(Exception):
+    """Raised when branch targets cannot be resolved."""
+
+
+@dataclass
+class SymInsn:
+    insn: Instruction
+    target: Optional[int] = None  # logical index of the jump target
+    deleted: bool = False
+
+
+class SymbolicProgram:
+    """A mutable, index-addressed program."""
+
+    def __init__(self, insns: List[SymInsn]):
+        self.insns = insns
+
+    # --- conversion ---------------------------------------------------------
+    @classmethod
+    def from_program(cls, program: BpfProgram) -> "SymbolicProgram":
+        slot_to_index = {}
+        slot = 0
+        for index, insn in enumerate(program.insns):
+            slot_to_index[slot] = index
+            slot += insn.slots
+        end_slot = slot
+
+        sym: List[SymInsn] = []
+        slot = 0
+        for insn in program.insns:
+            target = None
+            if insn.is_jump and not insn.is_call and not insn.is_exit:
+                target_slot = slot + insn.slots + insn.off
+                if target_slot == end_slot:
+                    target = len(program.insns)
+                elif target_slot not in slot_to_index:
+                    raise RelocationError(
+                        f"branch at slot {slot} lands inside an instruction"
+                    )
+                else:
+                    target = slot_to_index[target_slot]
+            sym.append(SymInsn(insn, target))
+            slot += insn.slots
+        return cls(sym)
+
+    def to_insns(self) -> List[Instruction]:
+        """Drop deletions, recompute offsets, return final instructions."""
+        # map old index -> new index of the next surviving instruction
+        survivors: List[int] = []
+        remap: List[int] = []
+        for sym in self.insns:
+            remap.append(len(survivors))
+            if not sym.deleted:
+                survivors.append(len(remap) - 1)
+        end_index = len(survivors)
+
+        live = [sym for sym in self.insns if not sym.deleted]
+        slots: List[int] = []
+        slot = 0
+        for sym in live:
+            slots.append(slot)
+            slot += sym.insn.slots
+        end_slot = slot
+
+        result: List[Instruction] = []
+        for new_index, sym in enumerate(live):
+            insn = sym.insn
+            if sym.target is not None:
+                if sym.target >= len(self.insns):
+                    target_slot = end_slot
+                else:
+                    new_target = remap[sym.target]
+                    target_slot = (
+                        end_slot if new_target >= len(live) else slots[new_target]
+                    )
+                rel = target_slot - (slots[new_index] + insn.slots)
+                insn = insn.with_(off=rel)
+            result.append(insn)
+        return result
+
+    def apply_to(self, program: BpfProgram) -> BpfProgram:
+        """Return a copy of *program* with the rewritten instructions."""
+        return program.copy(insns=self.to_insns())
+
+    # --- queries ------------------------------------------------------------
+    def branch_targets(self) -> Set[int]:
+        """Logical indices some branch may land on (rewrite barriers)."""
+        targets = set()
+        for sym in self.insns:
+            if not sym.deleted and sym.target is not None:
+                target = sym.target
+                # a deleted target means control lands on the next live insn
+                while target < len(self.insns) and self.insns[target].deleted:
+                    target += 1
+                targets.add(target)
+        return targets
+
+    def live_indices(self) -> List[int]:
+        return [i for i, sym in enumerate(self.insns) if not sym.deleted]
+
+    def next_live(self, index: int) -> Optional[int]:
+        for i in range(index + 1, len(self.insns)):
+            if not self.insns[i].deleted:
+                return i
+        return None
+
+    # --- mutation ---------------------------------------------------------------
+    def delete(self, index: int) -> None:
+        self.insns[index].deleted = True
+
+    def replace(self, index: int, insn: Instruction,
+                target: Optional[int] = None) -> None:
+        self.insns[index] = SymInsn(insn, target)

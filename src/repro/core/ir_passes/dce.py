@@ -1,0 +1,114 @@
+"""IR dead code elimination (the other half of Opt 1).
+
+Removes unused side-effect-free values, unreachable blocks, write-only
+allocas (stack variables that are stored to but never read — the
+``a = 0; // No usage. Eliminated.`` case of paper Fig. 5), and trivial
+single-predecessor phis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ... import ir
+from ...ir import instructions as iri
+from ..pass_manager import IRPass
+
+
+class DeadCodeEliminationPass(IRPass):
+    name = "dce"
+
+    def run(self, func: ir.Function, module: Optional[ir.Module] = None) -> int:
+        rewrites = 0
+        changed = True
+        while changed:
+            changed = False
+            n = self._drop_unreachable_blocks(func)
+            n += self._drop_dead_values(func)
+            n += self._drop_writeonly_allocas(func)
+            n += self._simplify_phis(func)
+            rewrites += n
+            changed = n > 0
+        return rewrites
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _drop_unreachable_blocks(func: ir.Function) -> int:
+        reachable: Set[ir.BasicBlock] = set()
+        stack: List[ir.BasicBlock] = [func.entry]
+        while stack:
+            block = stack.pop()
+            if block in reachable:
+                continue
+            reachable.add(block)
+            stack.extend(block.successors())
+        dead = [b for b in func.blocks if b not in reachable]
+        for block in dead:
+            func.remove_block(block)
+        return len(dead)
+
+    @staticmethod
+    def _drop_dead_values(func: ir.Function) -> int:
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in func.blocks:
+                for insn in reversed(list(block.instructions)):
+                    if insn.uses or insn.has_side_effects() or insn.is_terminator:
+                        continue
+                    insn.erase()
+                    removed += 1
+                    changed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    def _drop_writeonly_allocas(self, func: ir.Function) -> int:
+        """Delete stores into stack slots that can never be observed."""
+        removed = 0
+        for block in func.blocks:
+            for insn in list(block.instructions):
+                if not isinstance(insn, iri.Alloca):
+                    continue
+                stores = self._writeonly_stores(insn)
+                if stores is None:
+                    continue
+                for store in stores:
+                    store.erase()
+                    removed += 1
+        return removed
+
+    def _writeonly_stores(self, alloca: iri.Alloca):
+        """If the alloca is only ever written, return all its stores."""
+        stores: List[iri.IRInstruction] = []
+        worklist: List[ir.Value] = [alloca]
+        seen = set()
+        while worklist:
+            pointer = worklist.pop()
+            if id(pointer) in seen:
+                continue
+            seen.add(id(pointer))
+            for user in pointer.uses:
+                if isinstance(user, iri.Store) and user.ptr is pointer and \
+                        user.value is not pointer:
+                    stores.append(user)
+                elif isinstance(user, iri.Gep) and user.ptr is pointer:
+                    worklist.append(user)
+                else:
+                    return None  # read, escaped, or address taken
+        return stores
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _simplify_phis(func: ir.Function) -> int:
+        removed = 0
+        preds = func.predecessors()
+        for block in func.blocks:
+            if len(preds[block]) != 1:
+                continue
+            for phi in block.phis():
+                value = phi.incoming_for(preds[block][0])
+                phi.replace_all_uses_with(value)
+                phi.erase()
+                removed += 1
+        return removed

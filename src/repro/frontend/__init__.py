@@ -1,0 +1,20 @@
+"""Mini-C frontend: the reproduction's ``clang``."""
+
+from .ast_nodes import Program
+from .codegen import ACTION_CONSTS, BUILTINS, CompileError, compile_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, parse
+
+__all__ = [
+    "Program",
+    "ACTION_CONSTS",
+    "BUILTINS",
+    "CompileError",
+    "compile_source",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,75 @@
+"""Lexer for the mini-C eBPF source language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "u8", "u16", "u32", "u64", "void",
+    "if", "else", "while", "for", "return", "break", "continue",
+    "map", "const", "struct", "sizeof",
+}
+
+# longest-first so "<<=" wins over "<<" and "<"
+PUNCTUATION = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "->", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".", "?", ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in PUNCTUATION) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class LexError(SyntaxError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num" | "name" | "kw" | "punct" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+        elif kind == "num":
+            tokens.append(Token("num", text, line))
+        elif kind == "name":
+            if text in KEYWORDS:
+                tokens.append(Token("kw", text, line))
+            else:
+                tokens.append(Token("name", text, line))
+        elif kind == "punct":
+            tokens.append(Token("punct", text, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,13 @@
+"""Hardware models: cache, branch predictor, perf counters."""
+
+from .branch import BranchPredictor, BranchStats
+from .cache import CacheModel, CacheStats
+from .counters import PerfCounters
+
+__all__ = [
+    "BranchPredictor",
+    "BranchStats",
+    "CacheModel",
+    "CacheStats",
+    "PerfCounters",
+]

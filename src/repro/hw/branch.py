@@ -1,0 +1,47 @@
+"""A 2-bit saturating-counter branch predictor (Smith predictor)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class BranchStats:
+    branches: int = 0
+    mispredictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+
+class BranchPredictor:
+    """Per-PC 2-bit counters; counter >= 2 predicts taken."""
+
+    def __init__(self, table_bits: int = 12, mispredict_penalty: int = 15):
+        self.table_size = 1 << table_bits
+        self.mispredict_penalty = mispredict_penalty
+        self.counters: Dict[int, int] = {}
+        self.stats = BranchStats()
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.stats = BranchStats()
+
+    def record(self, pc: int, taken: bool) -> int:
+        """Update the predictor; returns the cycle penalty (0 or miss)."""
+        slot = pc % self.table_size
+        counter = self.counters.get(slot, 1)  # weakly not-taken
+        predicted = counter >= 2
+        self.stats.branches += 1
+        penalty = 0
+        if predicted != taken:
+            self.stats.mispredictions += 1
+            penalty = self.mispredict_penalty
+        if taken:
+            counter = min(counter + 1, 3)
+        else:
+            counter = max(counter - 1, 0)
+        self.counters[slot] = counter
+        return penalty

@@ -1,0 +1,75 @@
+"""Hardware performance counter bundles (the simulator's ``perf stat``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Counters accumulated by the VM plus cache/branch models."""
+
+    instructions: int = 0
+    cycles: int = 0
+    cache_references: int = 0
+    cache_misses: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    context_switches: int = 0
+    helper_calls: int = 0
+    atomics: int = 0
+
+    def add(self, other: "PerfCounters") -> None:
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.cache_references += other.cache_references
+        self.cache_misses += other.cache_misses
+        self.branches += other.branches
+        self.branch_misses += other.branch_misses
+        self.context_switches += other.context_switches
+        self.helper_calls += other.helper_calls
+        self.atomics += other.atomics
+
+    @property
+    def cache_miss_rate(self) -> float:
+        if not self.cache_references:
+            return 0.0
+        return self.cache_misses / self.cache_references
+
+    @property
+    def branch_miss_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.branch_misses / self.branches
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def snapshot(self) -> "PerfCounters":
+        return PerfCounters(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            cache_references=self.cache_references,
+            cache_misses=self.cache_misses,
+            branches=self.branches,
+            branch_misses=self.branch_misses,
+            context_switches=self.context_switches,
+            helper_calls=self.helper_calls,
+            atomics=self.atomics,
+        )
+
+    def delta(self, since: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            instructions=self.instructions - since.instructions,
+            cycles=self.cycles - since.cycles,
+            cache_references=self.cache_references - since.cache_references,
+            cache_misses=self.cache_misses - since.cache_misses,
+            branches=self.branches - since.branches,
+            branch_misses=self.branch_misses - since.branch_misses,
+            context_switches=self.context_switches - since.context_switches,
+            helper_calls=self.helper_calls - since.helper_calls,
+            atomics=self.atomics - since.atomics,
+        )

@@ -1,0 +1,150 @@
+"""Basic blocks and functions of the SSA IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .instructions import IRInstruction, Phi, successors
+from .types import Type, VOID
+from .values import Argument, Value
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: List[IRInstruction] = []
+
+    def append(self, insn: IRInstruction) -> IRInstruction:
+        if self.is_terminated:
+            raise ValueError(f"block {self.name} already has a terminator")
+        insn.parent = self
+        self.instructions.append(insn)
+        return insn
+
+    def insert(self, index: int, insn: IRInstruction) -> IRInstruction:
+        insn.parent = self
+        self.instructions.insert(index, insn)
+        return insn
+
+    @property
+    def terminator(self) -> Optional[IRInstruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return successors(term) if term is not None else []
+
+    def phis(self) -> List[Phi]:
+        return [i for i in self.instructions if isinstance(i, Phi)]
+
+    def non_phis(self) -> List[IRInstruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def __iter__(self) -> Iterator[IRInstruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insns)>"
+
+
+class Function:
+    """A function: arguments, blocks, a return type, and a name scope."""
+
+    def __init__(self, name: str, return_type: Type = VOID,
+                 arg_types: Sequence[Type] = (), arg_names: Sequence[str] = ()):
+        self.name = name
+        self.return_type = return_type
+        self.args: List[Argument] = [
+            Argument(ty, arg_names[i] if i < len(arg_names) else f"arg{i}", i)
+            for i, ty in enumerate(arg_types)
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = 0
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        name = name or self.next_name("bb")
+        existing = {b.name for b in self.blocks}
+        if name in existing:
+            base = name
+            counter = 1
+            while f"{base}{counter}" in existing:
+                counter += 1
+            name = f"{base}{counter}"
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def next_name(self, prefix: str = "") -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Map each block to the blocks that branch to it."""
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def instructions(self) -> Iterator[IRInstruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def remove_block(self, block: BasicBlock) -> None:
+        """Remove *block*, detaching its instructions and phi edges."""
+        for other in self.blocks:
+            for phi in other.phis():
+                phi.remove_incoming(block)
+        for insn in list(block.instructions):
+            insn.drop_operands()
+            insn.parent = None
+        block.instructions.clear()
+        self.blocks.remove(block)
+
+    def renumber(self) -> None:
+        """Give every unnamed value a fresh sequential name (printing aid)."""
+        counter = 0
+        for block in self.blocks:
+            for insn in block.instructions:
+                if not insn.type.is_void:
+                    counter += 1
+                    insn.name = str(counter)
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A compilation unit: functions plus map declarations."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.maps: Dict[str, "object"] = {}  # name -> isa.MapSpec
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def get(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())

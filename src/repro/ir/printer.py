@@ -1,0 +1,29 @@
+"""Textual rendering of IR modules/functions (LLVM-flavoured)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import Function, Module
+
+
+def print_function(func: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    lines: List[str] = [f"define {func.return_type} @{func.name}({args}) {{"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for instruction in block.instructions:
+            lines.append(f"  {instruction.render()}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; ModuleID = '{module.name}'"]
+    for map_name, spec in module.maps.items():
+        parts.append(
+            f"@{map_name} = map {spec.map_type} key={spec.key_size} "
+            f"value={spec.value_size} max_entries={spec.max_entries}"
+        )
+    parts.extend(print_function(func) for func in module)
+    return "\n\n".join(parts)

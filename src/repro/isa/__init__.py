@@ -1,0 +1,59 @@
+"""eBPF instruction set: encoding, decoding, assembly, disassembly."""
+
+from . import opcodes
+from .assembler import AssemblerError, assemble
+from .disassembler import disassemble, format_instruction
+from .instruction import (
+    EncodingError,
+    Instruction,
+    alu32,
+    alu64,
+    atomic,
+    call,
+    encoded_length,
+    exit_,
+    jump,
+    jump32,
+    ld_imm64,
+    load,
+    mov32_imm,
+    mov32_reg,
+    mov64_imm,
+    mov64_reg,
+    ni,
+    store_imm,
+    store_reg,
+)
+from .program import BpfProgram, MapSpec, ProgramType, XdpAction, total_ni
+
+__all__ = [
+    "opcodes",
+    "AssemblerError",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "EncodingError",
+    "Instruction",
+    "alu32",
+    "alu64",
+    "atomic",
+    "call",
+    "encoded_length",
+    "exit_",
+    "jump",
+    "jump32",
+    "ld_imm64",
+    "load",
+    "mov32_imm",
+    "mov32_reg",
+    "mov64_imm",
+    "mov64_reg",
+    "ni",
+    "store_imm",
+    "store_reg",
+    "BpfProgram",
+    "MapSpec",
+    "ProgramType",
+    "XdpAction",
+    "total_ni",
+]

@@ -1,0 +1,301 @@
+"""A small two-pass assembler for the kernel-style eBPF text syntax.
+
+Accepts the same syntax :mod:`repro.isa.disassembler` emits, plus named
+labels, so round-tripping ``disassemble`` output re-assembles exactly.
+
+Example::
+
+    prog = assemble('''
+        r0 = 0
+        r2 = *(u32 *)(r1 + 0)
+        if r2 != 42 goto drop
+        r0 = 2
+    drop:
+        exit
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import opcodes as op
+from . import instruction as ins
+from .instruction import Instruction
+
+_SIZE_BY_NAME = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}
+
+_ALU_BY_SYMBOL = {
+    "+=": "add",
+    "-=": "sub",
+    "*=": "mul",
+    "/=": "div",
+    "|=": "or",
+    "&=": "and",
+    "<<=": "lsh",
+    ">>=": "rsh",
+    "%=": "mod",
+    "^=": "xor",
+    "s>>=": "arsh",
+}
+
+_JMP_BY_SYMBOL = {
+    "==": "jeq",
+    "!=": "jne",
+    ">": "jgt",
+    ">=": "jge",
+    "<": "jlt",
+    "<=": "jle",
+    "s>": "jsgt",
+    "s>=": "jsge",
+    "s<": "jslt",
+    "s<=": "jsle",
+    "&": "jset",
+}
+
+_MEM_RE = re.compile(
+    r"\*\(\s*(u8|u16|u32|u64)\s*\*\)\(\s*r(\d+)\s*([+-])\s*(\w+)\s*\)"
+)
+_REG_RE = re.compile(r"^([rw])(\d+)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on unparsable assembly input."""
+
+    def __init__(self, line_no: int, line: str, message: str):
+        super().__init__(f"line {line_no}: {message}: {line!r}")
+        self.line_no = line_no
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _parse_reg(text: str) -> Optional[Tuple[int, bool]]:
+    """Return (reg_number, is_32bit) or None if not a register token."""
+    match = _REG_RE.match(text.strip())
+    if not match:
+        return None
+    reg = int(match.group(2))
+    if reg > op.R10:
+        return None
+    return reg, match.group(1) == "w"
+
+
+def _parse_mem(text: str) -> Optional[Tuple[int, int, int]]:
+    """Return (size_bytes, base_reg, offset) or None."""
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        return None
+    size = _SIZE_BY_NAME[match.group(1)]
+    base = int(match.group(2))
+    offset = _parse_int(match.group(4))
+    if match.group(3) == "-":
+        offset = -offset
+    return size, base, offset
+
+
+class _Pending:
+    """An instruction whose jump target is a named label."""
+
+    def __init__(self, insn: Instruction, label: str):
+        self.insn = insn
+        self.label = label
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Assemble *text* into a list of instructions."""
+    items: List[object] = []  # Instruction | _Pending
+    labels: Dict[str, int] = {}  # label -> slot offset
+    slot = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("//")[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or (":" in line and _is_label_prefix(line)):
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if label in labels:
+                raise AssemblerError(line_no, raw, f"duplicate label {label!r}")
+            labels[label] = slot
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        insn, label_ref = _parse_line(line_no, line)
+        items.append(_Pending(insn, label_ref) if label_ref else insn)
+        slot += insn.slots
+
+    # second pass: resolve labels to relative offsets
+    insns: List[Instruction] = []
+    slot = 0
+    for item in items:
+        insn = item.insn if isinstance(item, _Pending) else item
+        if isinstance(item, _Pending):
+            if item.label not in labels:
+                raise AssemblerError(0, item.label, "undefined label")
+            # relative offset is from the *next* instruction's slot
+            insn = insn.with_(off=labels[item.label] - (slot + insn.slots))
+        insns.append(insn)
+        slot += insn.slots
+    return insns
+
+
+def _is_label_prefix(line: str) -> bool:
+    head = line.split(":")[0].strip()
+    return bool(re.match(r"^[A-Za-z_.][\w.]*$", head))
+
+
+def _parse_line(line_no: int, line: str) -> Tuple[Instruction, Optional[str]]:
+    """Parse one statement. Returns (instruction, unresolved-label-or-None)."""
+    line = re.sub(r"^\s*\d+\s*:\s*", "", line)  # strip "  12: " slot prefixes
+
+    if line == "exit":
+        return ins.exit_(), None
+
+    match = re.match(r"^call\s+(\S+)$", line)
+    if match:
+        return ins.call(_parse_int(match.group(1))), None
+
+    match = re.match(r"^goto\s+(\S+)$", line)
+    if match:
+        return _jump_target("ja", 0, None, 0, match.group(1), line_no, line)
+
+    match = re.match(r"^if\s+(\S+)\s+(s?[=!<>&]+)\s+(\S+)\s+goto\s+(\S+)$", line)
+    if match:
+        return _parse_branch(line_no, line, *match.groups())
+
+    # atomics:  "lock *(u64 *)(r1 + 0) += r2"  or "r2 = lock ... += r2" fetch
+    match = re.match(
+        r"^(?:r(\d+)\s*=\s*)?lock\s+(\*\([^)]*\)\([^)]*\))\s*([+&|^]=)\s*r(\d+)$",
+        line,
+    )
+    if match:
+        fetch_reg, mem_text, symbol, src = match.groups()
+        mem = _parse_mem(mem_text)
+        if mem is None:
+            raise AssemblerError(line_no, line, "bad memory operand")
+        size, base, offset = mem
+        atomic_op = {
+            "+=": op.BPF_ATOMIC_ADD,
+            "&=": op.BPF_ATOMIC_AND,
+            "|=": op.BPF_ATOMIC_OR,
+            "^=": op.BPF_ATOMIC_XOR,
+        }[symbol]
+        if fetch_reg is not None:
+            if int(fetch_reg) != int(src):
+                raise AssemblerError(line_no, line, "fetch dst must equal src")
+            atomic_op |= op.BPF_FETCH
+        return ins.atomic(size, atomic_op, base, offset, int(src)), None
+
+    # store:  *(u32 *)(r10 - 4) = r1 | imm
+    match = re.match(r"^(\*\([^)]*\)\([^)]*\))\s*=\s*(\S+)$", line)
+    if match:
+        mem = _parse_mem(match.group(1))
+        if mem is None:
+            raise AssemblerError(line_no, line, "bad memory operand")
+        size, base, offset = mem
+        value = match.group(2)
+        reg = _parse_reg(value)
+        if reg is not None:
+            return ins.store_reg(size, base, offset, reg[0]), None
+        return ins.store_imm(size, base, offset, _parse_int(value)), None
+
+    # everything else starts with a destination register
+    match = re.match(r"^([rw]\d+)\s*(s?[-+*/%&|^<>]*=)\s*(.+)$", line)
+    if match:
+        return _parse_alu_or_load(line_no, line, *match.groups())
+
+    raise AssemblerError(line_no, line, "unrecognized statement")
+
+
+def _parse_branch(
+    line_no: int, line: str, dst_text: str, symbol: str, rhs: str, target: str
+) -> Tuple[Instruction, Optional[str]]:
+    dst = _parse_reg(dst_text)
+    if dst is None:
+        raise AssemblerError(line_no, line, "bad register in branch")
+    if symbol not in _JMP_BY_SYMBOL:
+        raise AssemblerError(line_no, line, f"unknown comparison {symbol!r}")
+    name = _JMP_BY_SYMBOL[symbol]
+    rhs_reg = _parse_reg(rhs)
+    dst_reg, is32 = dst
+    src = None if rhs_reg is None else rhs_reg[0]
+    imm = 0 if rhs_reg is not None else _parse_int(rhs)
+    return _jump_target(name, dst_reg, src, imm, target, line_no, line, is32)
+
+
+def _jump_target(
+    name: str,
+    dst: int,
+    src: Optional[int],
+    imm: int,
+    target: str,
+    line_no: int,
+    line: str,
+    is32: bool = False,
+) -> Tuple[Instruction, Optional[str]]:
+    maker = ins.jump32 if is32 else ins.jump
+    if re.match(r"^[+-]\d+$", target):
+        return maker(name, dst, src, imm, off=int(target)), None
+    if not re.match(r"^[A-Za-z_.][\w.]*$", target):
+        raise AssemblerError(line_no, line, f"bad jump target {target!r}")
+    return maker(name, dst, src, imm, off=0), target
+
+
+def _parse_alu_or_load(
+    line_no: int, line: str, dst_text: str, symbol: str, rhs: str
+) -> Tuple[Instruction, Optional[str]]:
+    dst = _parse_reg(dst_text)
+    if dst is None:
+        raise AssemblerError(line_no, line, "bad destination register")
+    dst_reg, is32 = dst
+    rhs = rhs.strip()
+
+    if symbol == "=":
+        # ld_imm64:  r1 = 0x1234 ll
+        match = re.match(r"^(\S+)\s+ll$", rhs)
+        if match:
+            if is32:
+                raise AssemblerError(line_no, line, "ld_imm64 needs a 64-bit dst")
+            return ins.ld_imm64(dst_reg, _parse_int(match.group(1))), None
+        # load
+        mem = _parse_mem(rhs)
+        if mem is not None:
+            size, base, offset = mem
+            return ins.load(size, dst_reg, base, offset), None
+        # neg:  r1 = -r1
+        match = re.match(r"^-\s*([rw]\d+)$", rhs)
+        if match and _parse_reg(match.group(1)) == (dst_reg, is32):
+            maker = ins.alu32 if is32 else ins.alu64
+            return maker("neg", dst_reg), None
+        # byte swap:  r1 = be16 r1 / le64 ...
+        match = re.match(r"^(be|le)(16|32|64)\s+[rw]\d+$", rhs)
+        if match:
+            src_flag = op.BPF_X if match.group(1) == "be" else op.BPF_K
+            return (
+                Instruction(
+                    op.BPF_ALU | op.BPF_END | src_flag,
+                    dst=dst_reg,
+                    imm=int(match.group(2)),
+                ),
+                None,
+            )
+        # mov
+        maker = ins.alu32 if is32 else ins.alu64
+        reg = _parse_reg(rhs)
+        if reg is not None:
+            return maker("mov", dst_reg, src=reg[0]), None
+        return maker("mov", dst_reg, imm=_parse_int(rhs)), None
+
+    if symbol not in _ALU_BY_SYMBOL:
+        raise AssemblerError(line_no, line, f"unknown operator {symbol!r}")
+    name = _ALU_BY_SYMBOL[symbol]
+    maker = ins.alu32 if is32 else ins.alu64
+    reg = _parse_reg(rhs)
+    if reg is not None:
+        return maker(name, dst_reg, src=reg[0]), None
+    return maker(name, dst_reg, imm=_parse_int(rhs)), None

@@ -1,0 +1,114 @@
+"""Textual disassembly of eBPF instructions (kernel-style syntax)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from . import opcodes as op
+from .instruction import Instruction
+
+_ALU_SYMBOL = {
+    "add": "+=",
+    "sub": "-=",
+    "mul": "*=",
+    "div": "/=",
+    "or": "|=",
+    "and": "&=",
+    "lsh": "<<=",
+    "rsh": ">>=",
+    "mod": "%=",
+    "xor": "^=",
+    "arsh": "s>>=",
+}
+
+_JMP_SYMBOL = {
+    "jeq": "==",
+    "jne": "!=",
+    "jgt": ">",
+    "jge": ">=",
+    "jlt": "<",
+    "jle": "<=",
+    "jsgt": "s>",
+    "jsge": "s>=",
+    "jslt": "s<",
+    "jsle": "s<=",
+    "jset": "&",
+}
+
+_SIZE_NAME = {1: "u8", 2: "u16", 4: "u32", 8: "u64"}
+
+
+def _reg(insn_class_is_32: bool, reg: int) -> str:
+    return f"{'w' if insn_class_is_32 else 'r'}{reg}"
+
+
+def _mem(insn: Instruction, base: int) -> str:
+    size = _SIZE_NAME[insn.size_bytes]
+    off = insn.off
+    sign = "+" if off >= 0 else "-"
+    return f"*({size} *)(r{base} {sign} {abs(off)})"
+
+
+def format_instruction(insn: Instruction) -> str:
+    """Render one instruction in kernel-assembler-like syntax."""
+    if insn.is_ld_imm64:
+        return f"r{insn.dst} = {insn.imm:#x} ll"
+
+    if insn.is_alu:
+        is32 = insn.is_alu32
+        dst = _reg(is32, insn.dst)
+        name = op.ALU_OP_NAMES[insn.alu_op]
+        if name == "neg":
+            return f"{dst} = -{dst}"
+        if name == "end":
+            kind = "be" if (insn.opcode & op.SRC_MASK) == op.BPF_X else "le"
+            return f"{dst} = {kind}{insn.imm} {dst}"
+        operand = _reg(is32, insn.src) if not insn.uses_imm else str(insn.imm)
+        if name == "mov":
+            return f"{dst} = {operand}"
+        return f"{dst} {_ALU_SYMBOL[name]} {operand}"
+
+    if insn.is_atomic:
+        name = op.ATOMIC_OP_NAMES.get(insn.imm, f"atomic_{insn.imm:#x}")
+        mem = _mem(insn, insn.dst)
+        if name == "xchg":
+            return f"r{insn.src} = xchg({mem}, r{insn.src})"
+        if name == "cmpxchg":
+            return f"r0 = cmpxchg({mem}, r0, r{insn.src})"
+        symbol = _ALU_SYMBOL.get(name.replace("_fetch", ""), "?=")
+        prefix = f"r{insn.src} = " if name.endswith("_fetch") else ""
+        return f"{prefix}lock {mem} {symbol} r{insn.src}"
+
+    if insn.is_load:
+        return f"r{insn.dst} = {_mem(insn, insn.src)}"
+
+    if insn.is_store:
+        value = str(insn.imm) if insn.is_store_imm else f"r{insn.src}"
+        return f"{_mem(insn, insn.dst)} = {value}"
+
+    if insn.is_call:
+        return f"call {insn.imm}"
+    if insn.is_exit:
+        return "exit"
+
+    if insn.is_jump:
+        name = op.JMP_OP_NAMES[insn.jmp_op]
+        target = f"{'+' if insn.off >= 0 else ''}{insn.off}"
+        if name == "ja":
+            return f"goto {target}"
+        is32 = insn.insn_class == op.BPF_JMP32
+        dst = _reg(is32, insn.dst)
+        operand = _reg(is32, insn.src) if not insn.uses_imm else str(insn.imm)
+        return f"if {dst} {_JMP_SYMBOL[name]} {operand} goto {target}"
+
+    return f".byte {insn.opcode:#04x}  ; unknown"
+
+
+def disassemble(insns: Iterable[Instruction]) -> str:
+    """Multi-line disassembly with slot offsets."""
+    lines: List[str] = []
+    slot = 0
+    for insn in insns:
+        lines.append(f"{slot:4d}: {format_instruction(insn)}")
+        slot += insn.slots
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""eBPF helper-function ABI: stable numeric ids (subset of the kernel's).
+
+The ids match ``enum bpf_func_id`` in the Linux UAPI so disassembly of
+real-world-style programs reads naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+HELPER_IDS: Dict[str, int] = {
+    "map_lookup_elem": 1,
+    "map_update_elem": 2,
+    "map_delete_elem": 3,
+    "probe_read": 4,
+    "ktime_get_ns": 5,
+    "trace_printk": 6,
+    "get_prandom_u32": 7,
+    "get_smp_processor_id": 8,
+    "tail_call": 12,
+    "get_current_pid_tgid": 14,
+    "get_current_uid_gid": 15,
+    "get_current_comm": 16,
+    "redirect": 23,
+    "perf_event_output": 25,
+    "csum_diff": 28,
+    "xdp_adjust_head": 44,
+    "probe_read_str": 45,
+    "fib_lookup": 69,
+    "redirect_map": 51,
+    "ktime_get_boot_ns": 125,
+    "ringbuf_output": 130,
+    "ringbuf_reserve": 131,
+    "ringbuf_submit": 132,
+}
+
+HELPER_NAMES: Dict[int, str] = {v: k for k, v in HELPER_IDS.items()}
+
+#: ld_imm64 src_reg value marking a map-fd pseudo load
+BPF_PSEUDO_MAP_FD = 1

@@ -1,0 +1,35 @@
+"""Model of the Linux kernel eBPF verifier."""
+
+from .analyzer import (
+    VerificationError,
+    VerificationResult,
+    Verifier,
+    verify,
+)
+from .kernels import DEFAULT_KERNEL, KERNELS, KernelConfig
+from .state import (
+    POINTER_TYPES,
+    RegState,
+    RegType,
+    SlotKind,
+    StackSlot,
+    VerifierState,
+)
+from .tnum import Tnum
+
+__all__ = [
+    "VerificationError",
+    "VerificationResult",
+    "Verifier",
+    "verify",
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "KernelConfig",
+    "POINTER_TYPES",
+    "RegState",
+    "RegType",
+    "SlotKind",
+    "StackSlot",
+    "VerifierState",
+    "Tnum",
+]

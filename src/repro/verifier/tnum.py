@@ -1,0 +1,160 @@
+"""Tristate numbers (tnums) — the kernel verifier's bit-level abstraction.
+
+A tnum ``(value, mask)`` represents the set of u64 numbers that agree
+with ``value`` on every bit where ``mask`` is 0; bits set in ``mask``
+are unknown.  Ported from the kernel's ``kernel/bpf/tnum.c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_U64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Tnum:
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if self.value & self.mask:
+            raise ValueError("tnum value and mask must not overlap")
+
+    # --- constructors ------------------------------------------------------
+    @staticmethod
+    def const(value: int) -> "Tnum":
+        return Tnum(value & _U64, 0)
+
+    @staticmethod
+    def unknown() -> "Tnum":
+        return Tnum(0, _U64)
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "Tnum":
+        """Smallest tnum containing [lo, hi] (kernel's tnum_range)."""
+        chi = (lo ^ hi) & _U64
+        bits = chi.bit_length()
+        if bits > 63:
+            return Tnum.unknown()
+        delta = (1 << bits) - 1
+        return Tnum(lo & ~delta & _U64, delta)
+
+    # --- queries -------------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return self.mask == 0
+
+    @property
+    def umin(self) -> int:
+        return self.value
+
+    @property
+    def umax(self) -> int:
+        return (self.value | self.mask) & _U64
+
+    def contains(self, x: int) -> bool:
+        return (x & ~self.mask & _U64) == self.value
+
+    def is_subset_of(self, other: "Tnum") -> bool:
+        """Every concrete value of self is representable in other."""
+        if self.mask & ~other.mask & _U64:
+            return False
+        return (self.value & ~other.mask & _U64) == other.value
+
+    # --- arithmetic ------------------------------------------------------------
+    def add(self, other: "Tnum") -> "Tnum":
+        sm = (self.mask + other.mask) & _U64
+        sv = (self.value + other.value) & _U64
+        sigma = (sm + sv) & _U64
+        chi = sigma ^ sv
+        mu = (chi | self.mask | other.mask) & _U64
+        return Tnum(sv & ~mu & _U64, mu)
+
+    def sub(self, other: "Tnum") -> "Tnum":
+        dv = (self.value - other.value) & _U64
+        alpha = (dv + self.mask) & _U64
+        beta = (dv - other.mask) & _U64
+        chi = alpha ^ beta
+        mu = (chi | self.mask | other.mask) & _U64
+        return Tnum(dv & ~mu & _U64, mu)
+
+    def and_(self, other: "Tnum") -> "Tnum":
+        alpha = self.value | self.mask
+        beta = other.value | other.mask
+        v = self.value & other.value
+        return Tnum(v, (alpha & beta & ~v) & _U64)
+
+    def or_(self, other: "Tnum") -> "Tnum":
+        v = self.value | other.value
+        mu = self.mask | other.mask
+        return Tnum(v & _U64, (mu & ~v) & _U64)
+
+    def xor(self, other: "Tnum") -> "Tnum":
+        v = self.value ^ other.value
+        mu = self.mask | other.mask
+        return Tnum((v & ~mu) & _U64, mu & _U64)
+
+    def lshift(self, shift: int) -> "Tnum":
+        shift %= 64
+        return Tnum((self.value << shift) & _U64, (self.mask << shift) & _U64)
+
+    def rshift(self, shift: int) -> "Tnum":
+        shift %= 64
+        return Tnum(self.value >> shift, self.mask >> shift)
+
+    def arshift(self, shift: int, insn_bits: int = 64) -> "Tnum":
+        shift %= insn_bits
+
+        def sar(x: int) -> int:
+            signed = x - (1 << insn_bits) if x >> (insn_bits - 1) else x
+            return (signed >> shift) & ((1 << insn_bits) - 1)
+
+        # conservatively: if the sign bit is unknown, the result's high
+        # bits are unknown
+        sign_unknown = bool(self.mask >> (insn_bits - 1) & 1)
+        value = sar(self.value & ((1 << insn_bits) - 1))
+        mask = sar(self.mask & ((1 << insn_bits) - 1))
+        if sign_unknown:
+            high = ((1 << insn_bits) - 1) ^ ((1 << max(insn_bits - shift, 0)) - 1)
+            mask |= high
+            value &= ~mask & _U64
+        return Tnum(value & ~mask & _U64, mask & _U64)
+
+    def mul(self, other: "Tnum") -> "Tnum":
+        """Kernel-style conservative multiply."""
+        if self.is_const and other.is_const:
+            return Tnum.const(self.value * other.value)
+        acc_v = (self.value * other.value) & _U64
+        acc_m = Tnum(0, 0)
+        a, b = self, other
+        while a.value or a.mask:
+            if a.value & 1:
+                acc_m = acc_m.add(Tnum(0, b.mask))
+            elif a.mask & 1:
+                acc_m = acc_m.add(Tnum(0, (b.value | b.mask) & _U64))
+            a = a.rshift(1)
+            b = b.lshift(1)
+        return Tnum.const(acc_v).add(acc_m)
+
+    def intersect(self, other: "Tnum") -> "Tnum":
+        v = self.value | other.value
+        mu = self.mask & other.mask
+        return Tnum(v & ~mu & _U64, mu)
+
+    def union(self, other: "Tnum") -> "Tnum":
+        """Smallest tnum containing both (kernel's tnum_union/hma join)."""
+        mu = (self.mask | other.mask | (self.value ^ other.value)) & _U64
+        return Tnum(self.value & ~mu & _U64, mu)
+
+    def cast(self, size_bytes: int) -> "Tnum":
+        """Truncate to *size_bytes* (zero upper bits)."""
+        if size_bytes >= 8:
+            return self
+        keep = (1 << (size_bytes * 8)) - 1
+        return Tnum(self.value & keep, self.mask & keep)
+
+    def __repr__(self) -> str:
+        if self.is_const:
+            return f"Tnum({self.value:#x})"
+        return f"Tnum(value={self.value:#x}, mask={self.mask:#x})"

@@ -1,0 +1,87 @@
+"""Flat memory model for the eBPF virtual machine.
+
+Guest "addresses" are plain integers carved into disjoint windows, one
+per region (stack, context, packet, map values...).  Accesses are
+bounds-checked; a bad access raises :class:`MemoryFault` — the runtime
+equivalent of what the static verifier is supposed to rule out.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+_PACK = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+STACK_BASE = 0x1000_0000
+CTX_BASE = 0x2000_0000
+PACKET_BASE = 0x3000_0000
+MAP_BASE = 0x4000_0000
+SCRATCH_BASE = 0x5000_0000
+
+_WINDOW = 0x1000_0000
+
+
+class MemoryFault(Exception):
+    """Raised on out-of-bounds or unmapped guest memory access."""
+
+
+@dataclass
+class Region:
+    name: str
+    base: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """A collection of disjoint regions addressed by integer pointers."""
+
+    def __init__(self) -> None:
+        self.regions: Dict[str, Region] = {}
+        self._next_dynamic = MAP_BASE
+
+    def add_region(self, name: str, base: int, size: int) -> Region:
+        region = Region(name, base, bytearray(size))
+        self.regions[name] = region
+        return region
+
+    def add_dynamic(self, name: str, size: int) -> Region:
+        """Allocate a region at the next free dynamic address."""
+        aligned = (size + 63) // 64 * 64 or 64
+        region = self.add_region(name, self._next_dynamic, size)
+        self._next_dynamic += aligned + 64  # red zone between allocations
+        return region
+
+    def find(self, addr: int, size: int) -> Region:
+        for region in self.regions.values():
+            if region.contains(addr, size):
+                return region
+        raise MemoryFault(f"unmapped access: {size} bytes at {addr:#x}")
+
+    def load(self, addr: int, size: int) -> int:
+        region = self.find(addr, size)
+        offset = addr - region.base
+        return struct.unpack_from(_PACK[size], region.data, offset)[0]
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        region = self.find(addr, size)
+        offset = addr - region.base
+        struct.pack_into(_PACK[size], region.data, offset, value & ((1 << (size * 8)) - 1))
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        region = self.find(addr, size)
+        offset = addr - region.base
+        return bytes(region.data[offset : offset + size])
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        region = self.find(addr, len(data))
+        offset = addr - region.base
+        region.data[offset : offset + len(data)] = data

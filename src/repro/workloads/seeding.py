@@ -1,0 +1,112 @@
+"""Map pre-population for XDP workloads.
+
+Lookups against empty maps would make every hit-path dead code (and let
+a test-based equivalence oracle delete it), so both the network harness
+and the K2 baseline seed each workload's maps with entries matching the
+traffic generator's flow population.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from ..vm import Machine
+from .packets import TrafficGenerator
+
+
+def seed_maps(machine: Machine, generator: TrafficGenerator,
+              coverage: float = 1.0, seed: int = 99) -> None:
+    """Populate workload maps so lookups hit (routes, VIPs, backends...).
+
+    ``coverage`` < 1 leaves a random fraction of entries absent so both
+    hit and miss paths stay live — essential when the caller is an
+    equivalence oracle rather than a throughput harness.
+    """
+    rng = random.Random(seed)
+    keep = lambda: rng.random() < coverage
+    u32 = lambda v: struct.pack("<I", v & 0xFFFFFFFF)
+    u64 = lambda v: struct.pack("<Q", v & (2**64 - 1))
+    for name, bpf_map in machine.maps.items():
+        if name == "route_table":
+            for prefix in range(bpf_map.spec.max_entries):
+                if keep():
+                    bpf_map.update(u32(prefix), u32(2 if keep() else 0))
+        elif name == "vip_map":
+            for i, (src, dst, sport, dport, proto) in enumerate(
+                    generator.flows[:400]):
+                if not keep():
+                    continue
+                key = ((dst & 0xFFFFFFFF) << 32) | ((dport & 0xFFFF) << 8) | proto
+                if bpf_map.update(u64(key), u32(i % 64)) != 0:
+                    break
+        elif name == "ring":
+            for slot in range(bpf_map.spec.max_entries):
+                bpf_map.update(u32(slot), u32(slot % 256))
+        elif name == "reals":
+            for idx in range(bpf_map.spec.max_entries):
+                info = (0x0A010000 + idx) | ((8000 + idx) << 32)
+                bpf_map.update(u32(idx), u64(info))
+        elif name == "tx_port":
+            for idx in range(bpf_map.spec.max_entries):
+                bpf_map.update(u32(idx), u32(2))
+        elif name == "tunnel_map":
+            for src, dst, sport, dport, proto in generator.flows[:200]:
+                if keep():
+                    key = ((dst & 0xFFFFFFFF) << 16) | (dport & 0xFFFF)
+                    bpf_map.update(u64(key), u64(0xC0A80101C0A80202))
+        elif name == "lb4_services":
+            for src, dst, sport, dport, proto in generator.flows[:400]:
+                if keep():
+                    key = ((dst & 0xFFFFFFFF) << 16) | (dport & 0xFFFF)
+                    bpf_map.update(u64(key), u64((8 << 32) | 0))
+        elif name == "lb4_backends":
+            for idx in range(bpf_map.spec.max_entries):
+                info = (0x0A020000 + idx) | ((9000 + idx) << 32)
+                bpf_map.update(u32(idx), u64(info))
+        elif name == "identity_map":
+            for src, dst, sport, dport, proto in generator.flows[:400]:
+                if keep():
+                    bpf_map.update(u32(src), u32(src & 0xFFFF))
+        elif name == "policy_map":
+            for i, (src, dst, sport, dport, proto) in enumerate(
+                    generator.flows[:400]):
+                key = (((src & 0xFFFF)) << 32) | (proto << 16) | dport
+                bpf_map.update(u64(key), u32(1 if i % 3 else 0))
+        elif name == "fw_rules":
+            for dport in (80, 443, 53, 8080, 6443):
+                for proto in (6, 17):
+                    bpf_map.update(u64((dport << 8) | proto),
+                                   u32(1 if dport != 6443 else 0))
+        elif name == "quic_workers":
+            for idx in range(bpf_map.spec.max_entries):
+                bpf_map.update(u32(idx), u32(2))
+        elif name == "blacklist":
+            for src, *_ in generator.flows[:16]:
+                bpf_map.update(u32(src), u64(0))
+        # per-flow *state* maps: seeding entries for known flows keeps the
+        # existing-state paths live (a single-run oracle would otherwise
+        # see them as dead code)
+        elif name == "conntrack":
+            for i, (src, dst, sport, dport, proto) in enumerate(
+                    generator.flows[:200]):
+                if keep():
+                    key = ((src & 0xFFFFFFFF) << 16) | (sport & 0xFFFF)
+                    bpf_map.update(u64(key), u32(i % 256))
+        elif name == "fw_sessions":
+            for i, (src, dst, sport, dport, proto) in enumerate(
+                    generator.flows[:200]):
+                if keep():
+                    key = (((src & 0xFFFFFFFF) << 32)
+                           | ((sport & 0xFFFF) << 16) | (dport & 0xFFFF))
+                    bpf_map.update(u64(key), u32(i % 2))
+        elif name == "buckets":
+            for i, (src, *_) in enumerate(generator.flows[:200]):
+                if keep():
+                    tokens = 0 if i % 4 == 0 else 2 + i % 50
+                    bpf_map.update(u32(src), u64(tokens))
+        elif name == "dns_blocklist":
+            # generated DNS payloads are zero-filled, so their qname hash
+            # is the bare FNV offset basis: seeding it makes the blocked
+            # path reachable under test
+            bpf_map.update(u64(0xCBF29CE484222325), u32(1))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.workloads.xdp import BY_NAME, compile_workload
+
+
+@pytest.fixture(scope="session")
+def xdp1_baseline():
+    return compile_workload(BY_NAME["xdp1"])
+
+
+@pytest.fixture(scope="session")
+def xdp1_merlin():
+    return compile_workload(BY_NAME["xdp1"], optimize=True)
+
+
+@pytest.fixture()
+def counter_source():
+    return """
+map array counters(u32, u64, 4);
+
+u64 count(u8* ctx) {
+    u32 key = 0;
+    u64* value = map_lookup(counters, &key);
+    if (value != 0) {
+        *value += 1;
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,343 @@
+"""Backend tests: lowering patterns, register allocation, emission."""
+
+import pytest
+
+from repro import ir
+from repro.codegen import (
+    EmissionError,
+    SelectionError,
+    StackOverflowError,
+    compile_function,
+)
+from repro.isa import disassemble
+from repro.isa import opcodes as op
+from repro.vm import Machine
+
+
+def build_function(body):
+    """body(builder, func) constructs the IR; returns the function."""
+    func = ir.Function("f", ir.I64, [ir.pointer(ir.I8)], ["ctx"])
+    block = func.add_block("entry")
+    builder = ir.IRBuilder(block)
+    body(builder, func)
+    ir.validate_function(func)
+    return func
+
+
+def compile_and_run(body, ctx=b"\x00" * 64):
+    func = build_function(body)
+    program = compile_function(func, ctx_size=64)
+    return program, Machine(program).run(ctx=ctx).return_value
+
+
+class TestLoweringPatterns:
+    def test_unaligned_u16_load_decomposes(self):
+        """align-1 i16 load becomes two byte loads + shl/or (Fig. 6)."""
+
+        def body(b, f):
+            p = b.gep_const(f.args[0], 4, ir.I16)
+            v = b.load(p, align=1)
+            b.ret(b.zext(v, ir.I64))
+
+        program, _ = compile_and_run(body)
+        text = disassemble(program.insns)
+        assert text.count("*(u8 *)") == 2
+        assert "<<= 8" in text
+        assert "*(u16 *)" not in text
+
+    def test_aligned_u16_load_is_single(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 4, ir.I16)
+            v = b.load(p, align=2)
+            b.ret(b.zext(v, ir.I64))
+
+        program, _ = compile_and_run(body)
+        assert "*(u16 *)" in disassemble(program.insns)
+
+    def test_unaligned_u64_load_value_correct(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 3, ir.I64)
+            b.ret(b.load(p, align=1))
+
+        ctx = bytes(range(64))
+        _, value = compile_and_run(body, ctx=ctx)
+        import struct
+
+        assert value == struct.unpack_from("<Q", bytes(range(64)), 3)[0]
+
+    def test_align2_u64_load_uses_u16_units(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 2, ir.I64)
+            b.ret(b.load(p, align=2))
+
+        program, _ = compile_and_run(body)
+        assert disassemble(program.insns).count("*(u16 *)") == 4
+
+    def test_zext_of_dirty_i32_emits_shift_pair(self):
+        """The shl 32 / shr 32 idiom (Fig. 8 origin)."""
+
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I32)
+            v = b.load(p, align=4)
+            dirty = b.add(v, ir.Constant(ir.I32, 1))
+            b.ret(b.zext(dirty, ir.I64))
+
+        program, _ = compile_and_run(body)
+        text = disassemble(program.insns)
+        assert "<<= 32" in text and ">>= 32" in text
+
+    def test_zext_of_clean_value_is_free(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I32)
+            v = b.load(p, align=4)  # loads zero-extend: clean
+            b.ret(b.zext(v, ir.I64))
+
+        program, _ = compile_and_run(body)
+        assert "<<= 32" not in disassemble(program.insns)
+
+    def test_lshr_dirty_i32_emits_mask_pattern(self):
+        """ld_imm64 mask; and; shr (Fig. 9)."""
+
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I32)
+            v = b.load(p, align=4)
+            dirty = b.add(v, ir.Constant(ir.I32, 1))
+            sh = b.lshr(dirty, ir.Constant(ir.I32, 28))
+            b.ret(b.zext(sh, ir.I64))
+
+        program, _ = compile_and_run(body)
+        text = disassemble(program.insns)
+        assert "0xf0000000 ll" in text
+        assert ">>= 28" in text
+
+    def test_lshr_semantics(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I32)
+            v = b.load(p, align=4)
+            dirty = b.add(v, ir.Constant(ir.I32, 0x10))
+            sh = b.lshr(dirty, ir.Constant(ir.I32, 28))
+            b.ret(b.zext(sh, ir.I64))
+
+        ctx = (0xE0000000).to_bytes(4, "little") + bytes(60)
+        _, value = compile_and_run(body, ctx=ctx)
+        assert value == ((0xE0000000 + 0x10) & 0xFFFFFFFF) >> 28
+
+    def test_store_constant_materializes_register(self):
+        """Constants are moved into a register before storing (Fig. 4)."""
+
+        def body(b, f):
+            slot = b.alloca(ir.I64, align=8)
+            b.store(b.i64(1), slot, align=8)
+            b.ret(b.load(slot, align=8))
+
+        func = build_function(body)
+        program = compile_function(func, ctx_size=64, cleanup=False)
+        text = disassemble(program.insns)
+        assert "= 1" in text  # mov rX, 1
+        assert not any(i.is_store_imm for i in program.insns)
+
+    def test_atomicrmw_lowered_to_xadd(self):
+        def body(b, f):
+            slot = b.alloca(ir.I64, align=8)
+            b.store(b.i64(5), slot, align=8)
+            b.atomic_rmw("add", slot, b.i64(3))
+            b.ret(b.load(slot, align=8))
+
+        program, value = compile_and_run(body)
+        assert value == 8
+        assert any(i.is_atomic for i in program.insns)
+
+    def test_atomicrmw_fetch_when_result_used(self):
+        def body(b, f):
+            slot = b.alloca(ir.I64, align=8)
+            b.store(b.i64(5), slot, align=8)
+            old = b.atomic_rmw("add", slot, b.i64(3))
+            b.ret(old)
+
+        program, value = compile_and_run(body)
+        assert value == 5
+        fetches = [i for i in program.insns
+                   if i.is_atomic and (i.imm & op.BPF_FETCH)]
+        assert fetches
+
+    def test_signed_division_rejected(self):
+        def body(b, f):
+            v = b.binop("sdiv", b.i64(4), b.i64(2))
+            b.ret(v)
+
+        func = ir.Function("f", ir.I64)
+        block = func.add_block("entry")
+        builder = ir.IRBuilder(block)
+        with pytest.raises(SelectionError):
+            body(builder, func)
+            compile_function(func)
+
+    def test_gep_folded_into_load_offset(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 40, ir.I64)
+            b.ret(b.load(p, align=8))
+
+        program, _ = compile_and_run(body)
+        loads = [i for i in program.insns if i.is_load and i.size_bytes == 8]
+        assert any(i.off == 40 for i in loads)
+
+    def test_select_semantics(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I64)
+            v = b.load(p, align=8)
+            cond = b.icmp("ugt", v, b.i64(10))
+            result = b.select(cond, b.i64(111), b.i64(222))
+            b.ret(result)
+
+        ctx_hi = (50).to_bytes(8, "little") + bytes(56)
+        ctx_lo = (5).to_bytes(8, "little") + bytes(56)
+        _, hi = compile_and_run(body, ctx=ctx_hi)
+        _, lo = compile_and_run(body, ctx=ctx_lo)
+        assert (hi, lo) == (111, 222)
+
+    def test_icmp_materialized_when_multiply_used(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I64)
+            v = b.load(p, align=8)
+            cond = b.icmp("eq", v, b.i64(7))
+            wide = b.zext(cond, ir.I64)
+            doubled = b.add(wide, wide)
+            b.ret(doubled)
+
+        ctx = (7).to_bytes(8, "little") + bytes(56)
+        _, value = compile_and_run(body, ctx=ctx)
+        assert value == 2
+
+
+class TestRegisterAllocation:
+    def test_high_pressure_spills_correctly(self):
+        """Sum of 14 live values forces spilling; result must be exact."""
+
+        def body(b, f):
+            values = []
+            for i in range(14):
+                p = b.gep_const(f.args[0], i * 4, ir.I32)
+                values.append(b.zext(b.load(p, align=4), ir.I64))
+            total = values[0]
+            for v in values[1:]:
+                total = b.add(total, v)
+            b.ret(total)
+
+        import struct
+
+        ctx = b"".join(struct.pack("<I", i * 3 + 1) for i in range(16))
+        _, value = compile_and_run(body, ctx=ctx)
+        assert value == sum(i * 3 + 1 for i in range(14))
+
+    def test_values_live_across_call_survive(self):
+        def body(b, f):
+            p = b.gep_const(f.args[0], 0, ir.I64)
+            before = b.load(p, align=8)
+            b.call("ktime_get_ns", [], ir.I64)
+            b.call("get_smp_processor_id", [], ir.I32)
+            b.ret(before)
+
+        ctx = (987654).to_bytes(8, "little") + bytes(56)
+        _, value = compile_and_run(body, ctx=ctx)
+        assert value == 987654
+
+    def test_call_args_in_order(self):
+        def body(b, f):
+            slot = b.alloca(ir.ArrayType(ir.I8, 16), align=8)
+            buf = b.bitcast(slot, ir.pointer(ir.I8))
+            b.call("probe_read", [buf, b.i64(8), f.args[0]], ir.I64)
+            wide = b.bitcast(slot, ir.pointer(ir.I64))
+            b.ret(b.load(wide, align=8))
+
+        ctx = (0x1122334455667788).to_bytes(8, "little") + bytes(56)
+        _, value = compile_and_run(body, ctx=ctx)
+        assert value == 0x1122334455667788
+
+    def test_stack_overflow_detected(self):
+        def body(b, f):
+            for _ in range(70):
+                b.alloca(ir.I64, align=8)
+            b.ret(b.i64(0))
+
+        func = build_function(body)
+        with pytest.raises(StackOverflowError):
+            compile_function(func)
+
+    def test_no_virtual_registers_survive(self):
+        from repro.workloads.xdp import ALL_XDP, compile_workload
+
+        program = compile_workload(ALL_XDP[4])  # xdp-balancer
+        for insn in program.insns:
+            assert insn.dst <= op.R10
+            if not insn.is_ld_imm64:
+                assert insn.src <= op.R10
+
+
+class TestControlFlowEmission:
+    def test_diamond(self):
+        def body(b, f):
+            then = f.add_block("then")
+            other = f.add_block("other")
+            merge = f.add_block("merge")
+            p = b.gep_const(f.args[0], 0, ir.I64)
+            v = b.load(p, align=8)
+            cond = b.icmp("ugt", v, b.i64(100))
+            b.cbr(cond, then, other)
+            b.position_at_end(then)
+            x = b.add(v, b.i64(1))
+            b.br(merge)
+            b.position_at_end(other)
+            y = b.add(v, b.i64(2))
+            b.br(merge)
+            b.position_at_end(merge)
+            phi = b.phi(ir.I64)
+            phi.add_incoming(x, then)
+            phi.add_incoming(y, other)
+            b.ret(phi)
+
+        ctx_hi = (200).to_bytes(8, "little") + bytes(56)
+        ctx_lo = (50).to_bytes(8, "little") + bytes(56)
+        _, hi = compile_and_run(body, ctx=ctx_hi)
+        _, lo = compile_and_run(body, ctx=ctx_lo)
+        assert (hi, lo) == (201, 52)
+
+    def test_loop_with_phi(self):
+        def body(b, f):
+            header = f.add_block("header")
+            loop_body = f.add_block("body")
+            done = f.add_block("done")
+            entry = b.block
+            b.br(header)
+            b.position_at_end(header)
+            i_phi = b.phi(ir.I64)
+            acc_phi = b.phi(ir.I64)
+            cond = b.icmp("ult", i_phi, b.i64(10))
+            b.cbr(cond, loop_body, done)
+            b.position_at_end(loop_body)
+            acc2 = b.add(acc_phi, i_phi)
+            i2 = b.add(i_phi, b.i64(1))
+            b.br(header)
+            i_phi.add_incoming(b.i64(0), entry)
+            i_phi.add_incoming(i2, loop_body)
+            acc_phi.add_incoming(b.i64(0), entry)
+            acc_phi.add_incoming(acc2, loop_body)
+            b.position_at_end(done)
+            b.ret(acc_phi)
+
+        _, value = compile_and_run(body)
+        assert value == 45
+
+    def test_branch_offsets_valid(self):
+        from repro.workloads.xdp import ALL_XDP, compile_workload
+
+        for workload in ALL_XDP[:6]:
+            program = compile_workload(workload)
+            slots = program.slot_offsets()
+            total = program.ni
+            slot = 0
+            for insn in program.insns:
+                if insn.is_jump and not insn.is_call and not insn.is_exit:
+                    target = slot + insn.slots + insn.off
+                    assert 0 <= target <= total
+                    assert target in slots or target == total
+                slot += insn.slots

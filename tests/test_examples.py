@@ -1,0 +1,34 @@
+"""The fast examples must keep working (they are documentation)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "merlin:" in out
+    assert "verify baseline: ok=True" in out
+    assert "verify merlin: ok=True" in out
+    assert "action 1" in out  # ssh dropped
+
+def test_custom_pass(capsys):
+    out = run_example("custom_pass.py", capsys)
+    assert "semantics preserved" in out
+    assert "still verifies: True" in out
+
+
+def test_verifier_explorer(capsys):
+    out = run_example("verifier_explorer.py", capsys)
+    assert "invalid access to packet" in out
+    assert "ok=True" in out
+    assert "kernel 4.15" in out

@@ -1,0 +1,156 @@
+"""Tests for program-local function inlining (paper §5.1's "local
+functions" are verified within main — eBPF has no general call for
+them, so clang inlines; our frontend does the same)."""
+
+import pytest
+
+from repro.frontend import CompileError, compile_source
+from repro.codegen import compile_function
+from repro.core import MerlinPipeline
+from repro.ir import validate_module
+from repro.isa import ProgramType
+from repro.verifier import verify
+from repro.vm import Machine
+
+
+def run(source: str, entry: str = "f", ctx: bytes = b"\x00" * 64,
+        optimize: bool = False) -> int:
+    module = compile_source(source)
+    validate_module(module)
+    if optimize:
+        program, _ = MerlinPipeline().compile(
+            module.get(entry), module, prog_type=ProgramType.TRACEPOINT,
+            ctx_size=64)
+    else:
+        program = compile_function(module.get(entry), module,
+                                   prog_type=ProgramType.TRACEPOINT,
+                                   ctx_size=64)
+    return Machine(program).run(ctx=ctx).return_value
+
+
+class TestInlining:
+    def test_simple_helper_function(self):
+        source = """
+u64 double_it(u64 x) { return x * 2; }
+u64 f(u8* ctx) { return double_it(21); }
+"""
+        assert run(source) == 42
+
+    def test_multiple_calls_independent_scopes(self):
+        source = """
+u64 square(u64 x) { u64 tmp = x * x; return tmp; }
+u64 f(u8* ctx) { return square(3) + square(4); }
+"""
+        assert run(source) == 25
+
+    def test_callee_does_not_see_caller_locals(self):
+        source = """
+u64 leak(u64 x) { return secret; }
+u64 f(u8* ctx) {
+    u64 secret = 9;
+    return leak(1);
+}
+"""
+        with pytest.raises(CompileError):
+            run(source)
+
+    def test_early_returns_join(self):
+        source = """
+u64 clamp(u64 x) {
+    if (x > 100) { return 100; }
+    if (x < 10) { return 10; }
+    return x;
+}
+u64 f(u8* ctx) {
+    return clamp(5) + clamp(50) + clamp(500);
+}
+"""
+        assert run(source) == 10 + 50 + 100
+
+    def test_loops_inside_callee(self):
+        source = """
+u64 sum_to(u64 n) {
+    u64 s = 0;
+    for (u64 i = 0; i <= n; i += 1) { s += i; }
+    return s;
+}
+u64 f(u8* ctx) { return sum_to(10); }
+"""
+        assert run(source) == 55
+
+    def test_nested_inlining(self):
+        source = """
+u64 inc(u64 x) { return x + 1; }
+u64 twice(u64 x) { return inc(inc(x)); }
+u64 f(u8* ctx) { return twice(40); }
+"""
+        assert run(source) == 42
+
+    def test_callee_with_address_taken_local(self):
+        source = """
+map hash kv(u64, u64, 8);
+
+u64 put_get(u64 k, u64 v) {
+    map_update(kv, &k, &v, BPF_ANY);
+    u64* got = map_lookup(kv, &k);
+    if (got == 0) { return 0; }
+    return *got;
+}
+u64 f(u8* ctx) { return put_get(5, 77); }
+"""
+        assert run(source) == 77
+
+    def test_recursion_rejected(self):
+        with pytest.raises(CompileError, match="recursi"):
+            run("u64 f(u8* ctx) { return f(ctx); }")
+
+    def test_mutual_recursion_rejected(self):
+        source = """
+u64 a(u64 x) { return b(x); }
+u64 b(u64 x) { return a(x); }
+u64 f(u8* ctx) { return a(1); }
+"""
+        with pytest.raises(CompileError):
+            run(source)
+
+    def test_arity_checked(self):
+        source = """
+u64 g(u64 x, u64 y) { return x + y; }
+u64 f(u8* ctx) { return g(1); }
+"""
+        with pytest.raises(CompileError, match="arguments"):
+            run(source)
+
+    def test_fall_off_end_returns_zero(self):
+        source = """
+u64 maybe(u64 x) {
+    if (x > 5) { return x; }
+}
+u64 f(u8* ctx) { return maybe(3) + maybe(9); }
+"""
+        assert run(source) == 9
+
+    def test_merlin_preserves_inlined_semantics(self):
+        source = """
+u32 rotl(u32 x, u32 k) { return (x << k) | (x >> (32 - k)); }
+u64 f(u8* ctx) {
+    u32 v = *(u32*)(ctx + 4);
+    return (u64)rotl(v, 13) ^ (u64)rotl(v, 7);
+}
+"""
+        ctx = bytes(range(64))
+        assert run(source, ctx=ctx) == run(source, ctx=ctx, optimize=True)
+
+    def test_inlined_program_verifies(self):
+        source = """
+u64 helper(u64 a, u64 b) { return (a << 3) ^ b; }
+u64 f(u8* ctx) {
+    u64 x = *(u64*)(ctx + 0);
+    return helper(x, 17);
+}
+"""
+        module = compile_source(source)
+        program = compile_function(module.get("f"), module,
+                                   prog_type=ProgramType.TRACEPOINT,
+                                   ctx_size=64)
+        assert verify(program).ok

@@ -1,0 +1,119 @@
+"""Hardware model tests: cache, branch predictor, counters."""
+
+import pytest
+
+from repro.hw import BranchPredictor, CacheModel, PerfCounters
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        cache = CacheModel()
+        latency = cache.access(0x1000, 8)
+        assert cache.stats.misses == 1
+        assert latency == cache.hit_latency + cache.miss_penalty
+
+    def test_second_access_hits(self):
+        cache = CacheModel()
+        cache.access(0x1000, 8)
+        latency = cache.access(0x1000, 8)
+        assert cache.stats.misses == 1
+        assert latency == cache.hit_latency
+
+    def test_same_line_shares(self):
+        cache = CacheModel(line_bytes=64)
+        cache.access(0x1000, 4)
+        cache.access(0x1010, 4)  # same 64-byte line
+        assert cache.stats.misses == 1
+
+    def test_straddling_access_touches_two_lines(self):
+        cache = CacheModel(line_bytes=64)
+        cache.access(0x103E, 8)  # crosses the line boundary
+        assert cache.stats.references == 2
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = CacheModel(size_bytes=2 * 64, line_bytes=64, ways=2)
+        # one set, two ways: third distinct line evicts the LRU
+        cache.access(0x0000, 1)
+        cache.access(0x1000, 1)
+        cache.access(0x0000, 1)  # touch: 0x1000 becomes LRU
+        cache.access(0x2000, 1)  # evicts 0x1000
+        cache.access(0x0000, 1)
+        assert cache.stats.misses == 3
+        cache.access(0x1000, 1)
+        assert cache.stats.misses == 4
+
+    def test_miss_rate(self):
+        cache = CacheModel()
+        cache.access(0, 1)
+        cache.access(0, 1)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_reset(self):
+        cache = CacheModel()
+        cache.access(0, 1)
+        cache.reset()
+        assert cache.stats.references == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheModel(size_bytes=1000, line_bytes=64, ways=8)
+
+
+class TestBranchPredictor:
+    def test_learns_always_taken(self):
+        predictor = BranchPredictor()
+        for _ in range(10):
+            predictor.record(0x10, taken=True)
+        assert predictor.stats.mispredictions <= 2
+
+    def test_alternating_pattern_mispredicts(self):
+        predictor = BranchPredictor()
+        for i in range(100):
+            predictor.record(0x10, taken=bool(i % 2))
+        assert predictor.stats.miss_rate > 0.3
+
+    def test_penalty_on_mispredict(self):
+        predictor = BranchPredictor(mispredict_penalty=15)
+        # initial counter is weakly-not-taken: a taken branch mispredicts
+        assert predictor.record(0x10, taken=True) == 15
+
+    def test_distinct_pcs_independent(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.record(1, taken=True)
+            predictor.record(2, taken=False)
+        before = predictor.stats.mispredictions
+        predictor.record(1, taken=True)
+        predictor.record(2, taken=False)
+        assert predictor.stats.mispredictions == before
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        counters = PerfCounters(instructions=10, cycles=20)
+        snap = counters.snapshot()
+        counters.instructions += 5
+        delta = counters.delta(snap)
+        assert delta.instructions == 5
+        assert delta.cycles == 0
+
+    def test_add(self):
+        a = PerfCounters(instructions=1, branch_misses=2)
+        b = PerfCounters(instructions=3, branch_misses=4)
+        a.add(b)
+        assert a.instructions == 4
+        assert a.branch_misses == 6
+
+    def test_rates(self):
+        counters = PerfCounters(cache_references=10, cache_misses=5,
+                                branches=4, branch_misses=1,
+                                instructions=100, cycles=50)
+        assert counters.cache_miss_rate == 0.5
+        assert counters.branch_miss_rate == 0.25
+        assert counters.ipc == 2.0
+
+    def test_zero_rates(self):
+        counters = PerfCounters()
+        assert counters.cache_miss_rate == 0.0
+        assert counters.ipc == 0.0

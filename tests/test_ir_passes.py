@@ -1,0 +1,401 @@
+"""Tests for Merlin's IR-tier passes."""
+
+import pytest
+
+from repro import ir
+from repro.core import (
+    AlignmentInferencePass,
+    ConstantPropagationPass,
+    DeadCodeEliminationPass,
+    MacroOpFusionPass,
+    SuperwordMergeIRPass,
+    average_alignment,
+)
+from repro.ir import instructions as iri
+
+
+def fresh():
+    func = ir.Function("f", ir.I64, [ir.pointer(ir.I8)], ["ctx"])
+    block = func.add_block("entry")
+    return func, ir.IRBuilder(block)
+
+
+class TestConstProp:
+    def test_folds_arith(self):
+        func, b = fresh()
+        x = b.add(b.i64(2), b.i64(3))
+        y = b.mul(x, b.i64(4))
+        b.ret(y)
+        ConstantPropagationPass().run(func)
+        ret = func.entry.terminator
+        assert isinstance(ret.value, ir.Constant)
+        assert ret.value.value == 20
+
+    def test_folds_narrow_wraparound(self):
+        func, b = fresh()
+        x = b.add(ir.Constant(ir.I8, 200), ir.Constant(ir.I8, 100))
+        b.ret(b.zext(x, ir.I64))
+        ConstantPropagationPass().run(func)
+        DeadCodeEliminationPass().run(func)
+        ret = func.entry.terminator
+        assert ret.value.value == (200 + 100) % 256
+
+    def test_identities(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0, ir.I64)
+        v = b.load(p, align=8)
+        x = b.add(v, b.i64(0))
+        y = b.mul(x, b.i64(1))
+        z = b.or_(y, b.i64(0))
+        b.ret(z)
+        ConstantPropagationPass().run(func)
+        assert func.entry.terminator.value is v
+
+    def test_mul_by_zero(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0, ir.I64)
+        v = b.load(p, align=8)
+        x = b.mul(v, b.i64(0))
+        b.ret(x)
+        ConstantPropagationPass().run(func)
+        assert func.entry.terminator.value.value == 0
+
+    def test_xor_self_is_zero(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0, ir.I64)
+        v = b.load(p, align=8)
+        b.ret(b.xor(v, v))
+        ConstantPropagationPass().run(func)
+        assert func.entry.terminator.value.value == 0
+
+    def test_folds_constant_branch(self):
+        func, b = fresh()
+        then = func.add_block("then")
+        other = func.add_block("other")
+        b.cbr(ir.Constant(ir.I1, 1), then, other)
+        bt = ir.IRBuilder(then)
+        bt.ret(bt.i64(1))
+        bo = ir.IRBuilder(other)
+        bo.ret(bo.i64(2))
+        ConstantPropagationPass().run(func)
+        DeadCodeEliminationPass().run(func)
+        assert other not in func.blocks
+        assert isinstance(func.entry.terminator, iri.Br)
+
+    def test_division_by_zero_not_folded(self):
+        func, b = fresh()
+        x = b.udiv(b.i64(4), b.i64(0))
+        b.ret(x)
+        ConstantPropagationPass().run(func)
+        assert isinstance(func.entry.terminator.value, iri.BinaryOp)
+
+    def test_icmp_folding(self):
+        func, b = fresh()
+        c = b.icmp("slt", ir.Constant(ir.I32, 0xFFFFFFFF), ir.Constant(ir.I32, 0))
+        b.ret(b.zext(c, ir.I64))
+        ConstantPropagationPass().run(func)
+        DeadCodeEliminationPass().run(func)
+        assert func.entry.terminator.value.value == 1  # -1 s< 0
+
+    def test_validates_after(self):
+        func, b = fresh()
+        x = b.add(b.i64(1), b.i64(2))
+        y = b.shl(x, b.i64(3))
+        b.ret(y)
+        ConstantPropagationPass().run(func)
+        DeadCodeEliminationPass().run(func)
+        ir.validate_function(func)
+
+
+class TestDCE:
+    def test_removes_unused_values(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0, ir.I64)
+        v = b.load(p, align=8)
+        b.add(v, b.i64(1))  # dead
+        b.ret(v)
+        removed = DeadCodeEliminationPass().run(func)
+        assert removed >= 1
+        assert all(not isinstance(i, iri.BinaryOp)
+                   for i in func.entry.instructions)
+
+    def test_keeps_side_effects(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        b.store(b.i64(1), slot, align=8)
+        v = b.load(slot, align=8)
+        b.ret(v)
+        DeadCodeEliminationPass().run(func)
+        assert any(isinstance(i, iri.Store) for i in func.entry.instructions)
+
+    def test_removes_writeonly_alloca(self):
+        """Fig. 5's 'a = 0; // No usage. Eliminated.' case."""
+        func, b = fresh()
+        dead_slot = b.alloca(ir.I32, align=4)
+        b.store(ir.Constant(ir.I32, 0), dead_slot, align=4)
+        b.store(ir.Constant(ir.I32, 1), dead_slot, align=4)
+        b.ret(b.i64(0))
+        DeadCodeEliminationPass().run(func)
+        assert not any(isinstance(i, (iri.Store, iri.Alloca))
+                       for i in func.entry.instructions)
+
+    def test_keeps_alloca_that_escapes(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        b.store(b.i64(1), slot, align=8)
+        b.call("map_lookup_elem", [ir.GlobalSymbol(ir.pointer(ir.I8), "m"),
+                                   b.bitcast(slot, ir.pointer(ir.I8))],
+               ir.pointer(ir.I64))
+        b.ret(b.i64(0))
+        DeadCodeEliminationPass().run(func)
+        assert any(isinstance(i, iri.Store) for i in func.entry.instructions)
+
+    def test_removes_unreachable_blocks(self):
+        func, b = fresh()
+        b.ret(b.i64(0))
+        dead = func.add_block("dead")
+        ir.IRBuilder(dead).unreachable()
+        DeadCodeEliminationPass().run(func)
+        assert dead not in func.blocks
+
+
+class TestDAO:
+    def test_raises_alignment_from_ctx_offset(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0x24, ir.I16)
+        load = iri.Load(p, align=1, name="v")
+        func.entry.append(load)
+        b.ret(b.zext(load, ir.I64))
+        rewrites = AlignmentInferencePass().run(func)
+        assert rewrites == 1
+        assert load.align == 2
+
+    def test_respects_misaligned_offset(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0x25, ir.I16)
+        load = iri.Load(p, align=1, name="v")
+        func.entry.append(load)
+        b.ret(b.zext(load, ir.I64))
+        AlignmentInferencePass().run(func)
+        assert load.align == 1
+
+    def test_even_offset_u32_gets_align_2(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 6, ir.I32)
+        load = iri.Load(p, align=1, name="v")
+        func.entry.append(load)
+        b.ret(b.zext(load, ir.I64))
+        AlignmentInferencePass().run(func)
+        assert load.align == 2
+
+    def test_alloca_alignment_propagates(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        narrow = b.bitcast(slot, ir.pointer(ir.I32))
+        store = iri.Store(ir.Constant(ir.I32, 1), narrow, align=1)
+        func.entry.append(store)
+        b.ret(b.i64(0))
+        AlignmentInferencePass().run(func)
+        assert store.align == 4
+
+    def test_map_value_pointer_assumed_aligned(self):
+        func, b = fresh()
+        value = b.call("map_lookup_elem",
+                       [ir.GlobalSymbol(ir.pointer(ir.I8), "m"),
+                        func.args[0]], ir.pointer(ir.I64))
+        load = iri.Load(value, align=1, name="v")
+        func.entry.append(load)
+        b.ret(load)
+        AlignmentInferencePass().run(func)
+        assert load.align == 8
+
+    def test_variable_gep_stays_unknown(self):
+        func, b = fresh()
+        p0 = b.gep_const(func.args[0], 0, ir.I64)
+        idx = b.load(p0, align=8)
+        p = b.gep(func.args[0], idx, ir.I16)
+        load = iri.Load(p, align=1, name="v")
+        func.entry.append(load)
+        b.ret(b.zext(load, ir.I64))
+        AlignmentInferencePass().run(func)
+        assert load.align == 1
+
+    def test_never_lowers_alignment(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 0x25, ir.I16)
+        load = iri.Load(p, align=2, name="v")  # claimed higher than provable
+        func.entry.append(load)
+        b.ret(b.zext(load, ir.I64))
+        AlignmentInferencePass().run(func)
+        assert load.align == 2
+
+    def test_average_alignment_reported(self):
+        func, b = fresh()
+        p = b.gep_const(func.args[0], 8, ir.I64)
+        load = iri.Load(p, align=1, name="v")
+        func.entry.append(load)
+        b.ret(load)
+        before = average_alignment(func)
+        AlignmentInferencePass().run(func)
+        after = average_alignment(func)
+        assert after > before
+
+
+class TestMacroFusion:
+    def _rmw(self, b, func, op_name="add"):
+        slot = b.alloca(ir.I64, align=8)
+        loaded = b.load(slot, align=8)
+        modified = b.binop(op_name, loaded, b.i64(3))
+        b.store(modified, slot, align=8)
+        return slot
+
+    def test_fuses_rmw_triple(self):
+        func, b = fresh()
+        self._rmw(b, func)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 1
+        assert any(isinstance(i, iri.AtomicRMW)
+                   for i in func.entry.instructions)
+        assert not any(isinstance(i, iri.Store)
+                       for i in func.entry.instructions)
+
+    @pytest.mark.parametrize("op_name", ["add", "and", "or", "xor"])
+    def test_fusible_ops(self, op_name):
+        func, b = fresh()
+        self._rmw(b, func, op_name)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 1
+
+    def test_sub_not_fused(self):
+        func, b = fresh()
+        self._rmw(b, func, "sub")
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 0
+
+    def test_no_fusion_when_value_used_elsewhere(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        loaded = b.load(slot, align=8)
+        modified = b.add(loaded, b.i64(3))
+        b.store(modified, slot, align=8)
+        b.ret(modified)  # second use of the sum
+        assert MacroOpFusionPass().run(func) == 0
+
+    def test_no_fusion_across_intervening_store(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        other = b.alloca(ir.I64, align=8)
+        loaded = b.load(slot, align=8)
+        b.store(b.i64(9), other, align=8)  # may alias in general
+        modified = b.add(loaded, b.i64(3))
+        b.store(modified, slot, align=8)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 0
+
+    def test_no_fusion_on_different_addresses(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        other = b.alloca(ir.I64, align=8)
+        loaded = b.load(slot, align=8)
+        modified = b.add(loaded, b.i64(3))
+        b.store(modified, other, align=8)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 0
+
+    def test_no_fusion_below_word_size(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I16, align=2)
+        loaded = b.load(slot, align=2)
+        modified = b.add(loaded, ir.Constant(ir.I16, 1))
+        b.store(modified, slot, align=2)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 0
+
+    def test_fusion_via_gep_addresses(self):
+        func, b = fresh()
+        slot = b.alloca(ir.ArrayType(ir.I64, 4), align=8)
+        p1 = b.gep_const(slot, 8, ir.I64)
+        p2 = b.gep_const(slot, 8, ir.I64)  # same address, distinct value
+        loaded = b.load(p1, align=8)
+        modified = b.add(loaded, b.i64(1))
+        b.store(modified, p2, align=8)
+        b.ret(b.i64(0))
+        assert MacroOpFusionPass().run(func) == 1
+
+
+class TestSuperwordIR:
+    def test_merges_adjacent_u32_stores(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        lo = b.bitcast(slot, ir.pointer(ir.I32))
+        hi = b.gep_const(slot, 4, ir.I32)
+        b.store(ir.Constant(ir.I32, 1), lo, align=4)
+        b.store(ir.Constant(ir.I32, 0), hi, align=4)
+        v = b.load(slot, align=8)
+        b.ret(v)
+        assert SuperwordMergeIRPass().run(func) == 1
+        stores = [i for i in func.entry.instructions
+                  if isinstance(i, iri.Store)]
+        assert len(stores) == 1
+        assert stores[0].value.type == ir.I64
+        assert stores[0].value.value == 1  # little-endian combination
+
+    def test_no_merge_when_misaligned(self):
+        func, b = fresh()
+        slot = b.alloca(ir.ArrayType(ir.I8, 16), align=8)
+        a = b.gep_const(slot, 4, ir.I32)
+        c = b.gep_const(slot, 8, ir.I32)
+        b.store(ir.Constant(ir.I32, 1), a, align=4)
+        b.store(ir.Constant(ir.I32, 2), c, align=4)
+        b.ret(b.i64(0))
+        # offset 4 is not 8-aligned: merged u64 store would be misaligned
+        assert SuperwordMergeIRPass().run(func) == 0
+
+    def test_no_merge_across_aliasing_load(self):
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        lo = b.bitcast(slot, ir.pointer(ir.I32))
+        hi = b.gep_const(slot, 4, ir.I32)
+        b.store(ir.Constant(ir.I32, 1), lo, align=4)
+        b.load(slot, align=8, name="peek")
+        b.store(ir.Constant(ir.I32, 0), hi, align=4)
+        b.ret(b.i64(0))
+        assert SuperwordMergeIRPass().run(func) == 0
+
+    def test_merge_order_independent(self):
+        # stores in descending address order still merge
+        func, b = fresh()
+        slot = b.alloca(ir.I64, align=8)
+        lo = b.bitcast(slot, ir.pointer(ir.I32))
+        hi = b.gep_const(slot, 4, ir.I32)
+        b.store(ir.Constant(ir.I32, 7), hi, align=4)
+        b.store(ir.Constant(ir.I32, 9), lo, align=4)
+        v = b.load(slot, align=8)
+        b.ret(v)
+        assert SuperwordMergeIRPass().run(func) == 1
+        stores = [i for i in func.entry.instructions
+                  if isinstance(i, iri.Store)]
+        assert stores[0].value.value == (7 << 32) | 9
+
+    def test_semantic_preservation(self):
+        from repro.codegen import compile_function
+        from repro.vm import Machine
+
+        def build():
+            func, b = fresh()
+            slot = b.alloca(ir.I64, align=8)
+            lo = b.bitcast(slot, ir.pointer(ir.I32))
+            hi = b.gep_const(slot, 4, ir.I32)
+            b.store(ir.Constant(ir.I32, 0xAABB), lo, align=4)
+            b.store(ir.Constant(ir.I32, 0x1122), hi, align=4)
+            b.ret(b.load(slot, align=8))
+            return func
+
+        plain = compile_function(build(), ctx_size=64)
+        merged_func = build()
+        SuperwordMergeIRPass().run(merged_func)
+        ir.validate_function(merged_func)
+        merged = compile_function(merged_func, ctx_size=64)
+        ctx = bytes(64)
+        assert Machine(plain).run(ctx=ctx).return_value == \
+            Machine(merged).run(ctx=ctx).return_value

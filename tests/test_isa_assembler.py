@@ -1,0 +1,154 @@
+"""Assembler/disassembler tests, including roundtrip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AssemblerError,
+    Instruction,
+    assemble,
+    disassemble,
+    format_instruction,
+)
+from repro.isa import instruction as ins
+from repro.isa import opcodes as op
+
+
+class TestAssemble:
+    def test_mov_imm(self):
+        insns = assemble("r1 = 42")
+        assert insns == [ins.mov64_imm(1, 42)]
+
+    def test_mov_negative(self):
+        assert assemble("r1 = -7")[0].imm == -7
+
+    def test_mov_hex(self):
+        assert assemble("r2 = 0xff")[0].imm == 255
+
+    def test_mov_reg(self):
+        assert assemble("r1 = r2") == [ins.mov64_reg(1, 2)]
+
+    def test_alu32_forms(self):
+        insns = assemble("w1 = 5\nw1 += w2")
+        assert insns[0].is_alu32
+        assert insns[1].is_alu32
+
+    def test_ld_imm64(self):
+        insns = assemble("r3 = 0xf0000000 ll")
+        assert insns[0].is_ld_imm64
+        assert insns[0].imm == 0xF0000000
+
+    def test_compound_ops(self):
+        text = "\n".join(
+            f"r1 {sym} 3"
+            for sym in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                        "<<=", ">>=", "s>>="]
+        )
+        insns = assemble(text)
+        assert len(insns) == 11
+        assert all(i.is_alu64 for i in insns)
+
+    def test_neg(self):
+        assert assemble("r1 = -r1")[0].alu_op == op.BPF_NEG
+
+    def test_load_store(self):
+        insns = assemble(
+            "r1 = *(u32 *)(r2 + 8)\n*(u64 *)(r10 - 16) = r1"
+        )
+        assert insns[0] == ins.load(4, 1, 2, 8)
+        assert insns[1] == ins.store_reg(8, 10, -16, 1)
+
+    def test_store_imm(self):
+        assert assemble("*(u16 *)(r1 + 0) = 9")[0] == ins.store_imm(2, 1, 0, 9)
+
+    def test_atomic_add(self):
+        insn = assemble("lock *(u64 *)(r1 + 8) += r2")[0]
+        assert insn.is_atomic
+        assert insn.imm == op.BPF_ATOMIC_ADD
+
+    def test_atomic_fetch(self):
+        insn = assemble("r2 = lock *(u64 *)(r1 + 8) += r2")[0]
+        assert insn.imm == (op.BPF_ATOMIC_ADD | op.BPF_FETCH)
+
+    def test_numeric_branch_offsets(self):
+        insn = assemble("if r1 == 0 goto +2")[0]
+        assert insn.off == 2
+
+    def test_labels_forward_and_backward(self):
+        insns = assemble("""
+        start:
+            r1 += 1
+            if r1 < 10 goto start
+            goto done
+            r0 = 1
+        done:
+            exit
+        """)
+        assert insns[1].off == -2  # back to start
+        assert insns[2].off == 1  # skip r0 = 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nr0 = 0\nx:\nexit")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("goto nowhere")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("this is not bpf")
+
+    def test_comments_ignored(self):
+        insns = assemble("r0 = 0 ; a comment\nexit // another")
+        assert len(insns) == 2
+
+    def test_call_and_exit(self):
+        insns = assemble("call 1\nexit")
+        assert insns[0].is_call and insns[0].imm == 1
+        assert insns[1].is_exit
+
+    def test_byteswap(self):
+        insn = assemble("r1 = be16 r1")[0]
+        assert insn.alu_op == op.BPF_END
+        assert insn.imm == 16
+
+    def test_jump32(self):
+        insn = assemble("if w1 < 5 goto +1")[0]
+        assert insn.insn_class == op.BPF_JMP32
+
+
+class TestRoundtrip:
+    SAMPLE = """
+        r6 = r1
+        r2 = *(u64 *)(r1 + 0)
+        r3 = 0xf0000000 ll
+        r2 &= r3
+        w4 = w2
+        if r2 != 42 goto +3
+        *(u64 *)(r10 - 8) = 1
+        lock *(u64 *)(r1 + 16) += r2
+        r0 = 2
+        exit
+    """
+
+    def test_disassemble_reassemble(self):
+        insns = assemble(self.SAMPLE)
+        text = disassemble(insns)
+        again = assemble(text)
+        assert again == insns
+
+    @given(st.integers(0, 9), st.integers(-100, 100))
+    def test_format_parse_mov(self, reg, imm):
+        insn = ins.mov64_imm(reg, imm)
+        assert assemble(format_instruction(insn)) == [insn]
+
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 9),
+        st.integers(0, 10),
+        st.integers(-256, 256),
+    )
+    def test_format_parse_load(self, size, dst, src, off):
+        insn = ins.load(size, dst, src, off)
+        assert assemble(format_instruction(insn)) == [insn]

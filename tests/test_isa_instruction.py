@@ -1,0 +1,209 @@
+"""Unit tests for eBPF instruction encode/decode and classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    alu32,
+    alu64,
+    atomic,
+    call,
+    encoded_length,
+    exit_,
+    jump,
+    jump32,
+    ld_imm64,
+    load,
+    mov32_imm,
+    mov64_imm,
+    mov64_reg,
+    ni,
+    store_imm,
+    store_reg,
+)
+from repro.isa import opcodes as op
+
+
+class TestEncoding:
+    def test_simple_mov_is_8_bytes(self):
+        assert len(mov64_imm(1, 5).encode()) == 8
+
+    def test_ld_imm64_is_16_bytes(self):
+        assert len(ld_imm64(1, 0xDEADBEEFCAFEBABE).encode()) == 16
+
+    def test_roundtrip_mov(self):
+        insn = mov64_imm(3, -42)
+        assert Instruction.decode_stream(insn.encode()) == [insn]
+
+    def test_roundtrip_ld_imm64_large(self):
+        insn = ld_imm64(2, 0xFFFF_FFFF_F000_0000)
+        assert Instruction.decode_stream(insn.encode()) == [insn]
+
+    def test_roundtrip_negative_offset_store(self):
+        insn = store_reg(4, op.R10, -4, op.R1)
+        assert Instruction.decode_stream(insn.encode()) == [insn]
+
+    def test_decode_rejects_partial_instruction(self):
+        with pytest.raises(EncodingError):
+            Instruction.decode_stream(b"\x07\x01\x00")
+
+    def test_decode_rejects_truncated_ld_imm64(self):
+        data = ld_imm64(1, 1).encode()[:8]
+        with pytest.raises(EncodingError):
+            Instruction.decode_stream(data)
+
+    def test_encode_rejects_bad_register(self):
+        with pytest.raises(EncodingError):
+            Instruction(op.BPF_ALU64 | op.BPF_MOV | op.BPF_K, dst=12).encode()
+
+    def test_opcode_layout_matches_kernel(self):
+        # mov r1, 1 encodes to b7 01 00 00 01 00 00 00 (paper Fig. 4)
+        assert mov64_imm(1, 1).encode() == bytes(
+            [0xB7, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00]
+        )
+
+    def test_store_imm_u64_encoding(self):
+        # movq $1, -0x40(r10): 7a 0a c0 ff 01 00 00 00 (paper Fig. 4)
+        assert store_imm(8, op.R10, -0x40, 1).encode() == bytes(
+            [0x7A, 0x0A, 0xC0, 0xFF, 0x01, 0x00, 0x00, 0x00]
+        )
+
+    def test_mov32_reg_encoding(self):
+        # movl r0, r0: bc 00 (paper Fig. 8)
+        insn = Instruction(op.BPF_ALU | op.BPF_MOV | op.BPF_X, dst=0, src=0)
+        assert insn.encode()[0] == 0xBC
+
+    @given(
+        st.sampled_from(["add", "sub", "mul", "div", "or", "and", "lsh",
+                         "rsh", "mod", "xor", "mov", "arsh"]),
+        st.integers(0, 10),
+        st.integers(-(2 ** 31), 2 ** 31 - 1),
+    )
+    def test_alu64_imm_roundtrip(self, name, dst, imm):
+        insn = alu64(name, dst, imm=imm)
+        assert Instruction.decode_stream(insn.encode()) == [insn]
+
+    @given(st.integers(0, 2 ** 64 - 1), st.integers(0, 9))
+    def test_ld_imm64_roundtrip(self, value, reg):
+        insn = ld_imm64(reg, value)
+        decoded = Instruction.decode_stream(insn.encode())
+        assert decoded == [insn]
+        assert decoded[0].imm == value
+
+    @given(st.integers(-(2 ** 15), 2 ** 15 - 1))
+    def test_jump_offset_roundtrip(self, off):
+        insn = jump("jeq", 1, imm=0, off=off)
+        assert Instruction.decode_stream(insn.encode())[0].off == off
+
+
+class TestClassification:
+    def test_alu64_vs_alu32(self):
+        assert alu64("add", 1, imm=1).is_alu64
+        assert alu32("add", 1, imm=1).is_alu32
+        assert not alu32("add", 1, imm=1).is_alu64
+
+    def test_memory_predicates(self):
+        ld = load(4, 1, 2, 0)
+        st_ = store_reg(4, 1, 0, 2)
+        assert ld.is_load and not ld.is_store
+        assert st_.is_store and not st_.is_load
+        assert ld.is_memory and st_.is_memory
+
+    def test_ld_imm64_is_not_a_memory_load(self):
+        assert not ld_imm64(1, 5).is_load
+
+    def test_atomic_classification(self):
+        insn = atomic(8, op.BPF_ATOMIC_ADD, 1, 0, 2)
+        assert insn.is_atomic and insn.is_store
+
+    def test_store_imm_classification(self):
+        assert store_imm(4, op.R10, -4, 7).is_store_imm
+
+    def test_call_exit(self):
+        assert call(1).is_call
+        assert exit_().is_exit
+        assert not call(1).is_exit
+
+    def test_atomic_requires_word_size(self):
+        with pytest.raises(EncodingError):
+            atomic(2, op.BPF_ATOMIC_ADD, 1, 0, 2)
+
+    def test_size_bytes(self):
+        assert load(1, 0, 1).size_bytes == 1
+        assert load(2, 0, 1).size_bytes == 2
+        assert load(4, 0, 1).size_bytes == 4
+        assert load(8, 0, 1).size_bytes == 8
+
+    def test_size_bytes_on_alu_raises(self):
+        with pytest.raises(EncodingError):
+            _ = mov64_imm(0, 1).size_bytes
+
+
+class TestUseDef:
+    def test_mov_imm_defines_dst_uses_nothing(self):
+        insn = mov64_imm(3, 7)
+        assert insn.defs() == (3,)
+        assert insn.uses() == ()
+
+    def test_mov_reg_uses_src(self):
+        insn = mov64_reg(3, 5)
+        assert insn.defs() == (3,)
+        assert insn.uses() == (5,)
+
+    def test_add_reg_uses_both(self):
+        insn = alu64("add", 2, src=4)
+        assert set(insn.uses()) == {2, 4}
+        assert insn.defs() == (2,)
+
+    def test_add_imm_uses_dst_only(self):
+        insn = alu64("add", 2, imm=1)
+        assert insn.uses() == (2,)
+
+    def test_neg_uses_dst(self):
+        assert alu64("neg", 2).uses() == (2,)
+
+    def test_load_uses_base_defines_dst(self):
+        insn = load(4, 1, 7, 12)
+        assert insn.uses() == (7,)
+        assert insn.defs() == (1,)
+
+    def test_store_reg_uses_both_defines_none(self):
+        insn = store_reg(4, 7, 0, 1)
+        assert set(insn.uses()) == {7, 1}
+        assert insn.defs() == ()
+
+    def test_store_imm_uses_base_only(self):
+        assert store_imm(4, 7, 0, 1).uses() == (7,)
+
+    def test_atomic_fetch_defines_src(self):
+        insn = atomic(8, op.BPF_ATOMIC_ADD | op.BPF_FETCH, 1, 0, 2)
+        assert insn.defs() == (2,)
+
+    def test_atomic_nonfetch_defines_nothing(self):
+        insn = atomic(8, op.BPF_ATOMIC_ADD, 1, 0, 2)
+        assert insn.defs() == ()
+
+    def test_call_defines_r0(self):
+        assert call(1).defs() == (op.R0,)
+
+    def test_exit_uses_r0(self):
+        assert exit_().uses() == (op.R0,)
+
+    def test_cond_jump_uses(self):
+        assert jump("jeq", 1, src=2).uses() == (1, 2)
+        assert jump("jeq", 1, imm=0).uses() == (1,)
+        assert jump("ja").uses() == ()
+
+
+class TestCounting:
+    def test_ni_counts_ld_imm64_twice(self):
+        insns = [mov64_imm(0, 0), ld_imm64(1, 2 ** 40), exit_()]
+        assert ni(insns) == 4
+        assert encoded_length(insns) == 32
+
+    def test_jump32(self):
+        insn = jump32("jlt", 1, imm=5, off=3)
+        assert insn.insn_class == op.BPF_JMP32
+        assert Instruction.decode_stream(insn.encode()) == [insn]

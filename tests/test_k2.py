@@ -1,0 +1,119 @@
+"""Tests for the K2 baseline and its equivalence oracle."""
+
+import pytest
+
+from repro.baselines import (
+    K2Config,
+    K2Optimizer,
+    K2_SUPPORTED_HELPERS,
+    equivalent,
+    generate_tests,
+    k2_optimize,
+)
+from repro.isa import BpfProgram, ProgramType, assemble
+from repro.verifier import verify
+from repro.workloads.xdp import BY_NAME, compile_workload
+
+
+@pytest.fixture(scope="module")
+def xdp1():
+    return compile_workload(BY_NAME["xdp1"])
+
+
+class TestSupportGating:
+    def test_xdp_supported(self, xdp1):
+        ok, reason = K2Optimizer().check_supported(xdp1)
+        assert ok, reason
+
+    def test_tracepoint_rejected(self):
+        program = BpfProgram("tp", assemble("r0 = 0\nexit"),
+                             prog_type=ProgramType.TRACEPOINT)
+        result = k2_optimize(program)
+        assert not result.supported
+        assert "XDP" in result.reason
+
+    def test_unsupported_helper_rejected(self):
+        program = BpfProgram("t", assemble("call 25\nexit"))  # perf_event
+        result = k2_optimize(program)
+        assert not result.supported
+        assert "perf_event_output" in result.reason
+
+    def test_unsupported_returns_original(self):
+        program = BpfProgram("tp", assemble("r0 = 0\nexit"),
+                             prog_type=ProgramType.TRACEPOINT)
+        result = k2_optimize(program)
+        assert result.program is program
+        assert result.ni_reduction == 0.0
+
+
+class TestEquivalenceOracle:
+    def test_program_equals_itself(self, xdp1):
+        tests = generate_tests(xdp1, count=6)
+        assert equivalent(xdp1, xdp1.copy(), tests)
+
+    def test_detects_changed_return(self, xdp1):
+        mutated = xdp1.copy()
+        # change the final constant: xdp1 returns DROP(1); flip to PASS(2)
+        for i, insn in enumerate(mutated.insns):
+            if insn.is_alu and insn.uses_imm and insn.imm == 1 and \
+                    insn.dst == 0:
+                mutated.insns[i] = insn.with_(imm=2)
+        tests = generate_tests(xdp1, count=6)
+        assert not equivalent(xdp1, mutated, tests)
+
+    def test_detects_dropped_map_update(self, xdp1):
+        # xdp1 increments its counter via load/add/store: drop the store
+        mutated = xdp1.copy()
+        stores = [i for i, insn in enumerate(mutated.insns)
+                  if insn.is_store and not insn.dst == 10]
+        assert stores, "expected a map-value store in xdp1"
+        del mutated.insns[stores[-1]]
+        tests = generate_tests(xdp1, count=6)
+        assert not equivalent(xdp1, mutated, tests)
+
+    def test_detects_packet_write_removal(self):
+        program = compile_workload(BY_NAME["xdp2"])  # swaps MACs
+        mutated = program.copy()
+        stores = [i for i, insn in enumerate(mutated.insns)
+                  if insn.is_store and not insn.is_atomic]
+        del mutated.insns[stores[-1]]
+        tests = generate_tests(program, count=6)
+        assert not equivalent(program, mutated, tests)
+
+    def test_faulting_candidate_rejected(self, xdp1):
+        broken = xdp1.copy()
+        broken.insns = assemble("r0 = *(u64 *)(r1 + 4096)\nexit")
+        tests = generate_tests(xdp1, count=4)
+        assert not equivalent(xdp1, broken, tests)
+
+
+class TestSearch:
+    def test_shrinks_program(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=800)).optimize(xdp1)
+        assert result.supported
+        assert result.ni_after <= result.ni_before
+        assert result.iterations > 0
+
+    def test_output_verifies(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=600)).optimize(xdp1)
+        assert verify(result.program).ok
+
+    def test_output_equivalent(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=600)).optimize(xdp1)
+        tests = generate_tests(xdp1, count=8, seed=12345)  # held-out seed
+        assert equivalent(xdp1, result.program, tests)
+
+    def test_deterministic_for_seed(self, xdp1):
+        a = K2Optimizer(K2Config(iterations=300, seed=3)).optimize(xdp1)
+        b = K2Optimizer(K2Config(iterations=300, seed=3)).optimize(xdp1)
+        assert a.ni_after == b.ni_after
+
+    def test_budget_shrinks_with_size(self):
+        optimizer = K2Optimizer(K2Config(iterations=4000))
+        small = optimizer._iteration_budget(50)
+        large = optimizer._iteration_budget(2000)
+        assert large < small
+
+    def test_timing_recorded(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=200)).optimize(xdp1)
+        assert result.seconds > 0

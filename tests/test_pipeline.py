@@ -1,0 +1,178 @@
+"""Full-pipeline tests: Merlin end-to-end on source programs.
+
+The invariants from the paper: optimized programs always pass the
+verifier, never grow, behave identically, and verify in fewer NPI.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import compile_baseline, compile_bpf, optimize
+from repro.core import ALL_OPTIMIZERS, MerlinPipeline, MerlinReport
+from repro.frontend import compile_source
+from repro.isa import ProgramType
+from repro.verifier import KERNELS, verify
+from repro.vm import Machine
+from repro.workloads.xdp import ALL_XDP, BY_NAME, compile_workload
+
+SOURCE = """
+map array counts(u32, u64, 8);
+
+u32 entrypoint(u8* ctx) {
+    u64 data = ctx->data;
+    u64 end = ctx->data_end;
+    if (data + 20 > end) { return XDP_DROP; }
+    u16 proto = *(u16*)(data + 12);
+    u32 word = *(u32*)(data + 14);
+    u32 key = (word >> 28) & 7;
+    u64* slot = map_lookup(counts, &key);
+    if (slot != 0) { *slot += 1; }
+    if (proto == 0x0800) { return XDP_PASS; }
+    return XDP_DROP;
+}
+"""
+
+
+def compile_pair(source=SOURCE, entry="entrypoint", **kwargs):
+    baseline = compile_baseline(compile_bpf(source), entry, **kwargs)
+    optimized, report = optimize(compile_bpf(source), entry, **kwargs)
+    return baseline, optimized, report
+
+
+class TestPipelineInvariants:
+    def test_optimized_never_larger(self):
+        baseline, optimized, report = compile_pair()
+        assert optimized.ni <= baseline.ni
+        assert report.ni_original == baseline.ni
+        assert report.ni_optimized == optimized.ni
+
+    def test_reduction_is_positive_on_optimizable_code(self):
+        _, _, report = compile_pair()
+        assert report.ni_reduction > 0
+
+    def test_optimized_verifies(self):
+        _, optimized, _ = compile_pair()
+        assert verify(optimized).ok
+
+    def test_npi_not_worse(self):
+        baseline, optimized, _ = compile_pair()
+        assert verify(optimized).npi <= verify(baseline).npi
+
+    def test_verify_after_option(self):
+        module = compile_bpf(SOURCE)
+        pipeline = MerlinPipeline(verify_after=True)
+        _, report = pipeline.compile(module.get("entrypoint"), module,
+                                     ctx_size=24)
+        assert report.verification is not None
+        assert report.verification.ok
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            MerlinPipeline(enabled={"warp-drive"})
+
+    def test_single_optimizer_subsets_work(self):
+        for name in sorted(ALL_OPTIMIZERS):
+            module = compile_bpf(SOURCE)
+            pipeline = MerlinPipeline(enabled={name})
+            program, report = pipeline.compile(module.get("entrypoint"),
+                                               module, ctx_size=24)
+            assert verify(program).ok, name
+            assert report.ni_optimized <= report.ni_original, name
+
+    def test_report_time_accounting(self):
+        _, _, report = compile_pair()
+        assert report.compile_seconds > 0
+        assert all(s.time_seconds >= 0 for s in report.pass_stats)
+
+    def test_pass_stats_have_both_tiers(self):
+        _, _, report = compile_pair()
+        tiers = {s.tier for s in report.pass_stats}
+        assert tiers == {"ir", "bytecode"}
+
+    def test_optimize_program_bytecode_only(self):
+        baseline = compile_baseline(compile_bpf(SOURCE), "entrypoint")
+        pipeline = MerlinPipeline()
+        optimized, report = pipeline.optimize_program(baseline)
+        assert optimized.ni <= baseline.ni
+        assert report.ni_original == baseline.ni
+        # original untouched
+        assert baseline.ni == report.ni_original
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("workload", ALL_XDP, ids=lambda w: w.name)
+    def test_workload_equivalence(self, workload):
+        from repro.baselines.equivalence import equivalent, generate_tests
+
+        baseline = compile_workload(workload)
+        optimized = compile_workload(workload, optimize=True)
+        tests = generate_tests(baseline, count=6)
+        assert equivalent(baseline, optimized, tests)
+
+    @pytest.mark.parametrize("workload", ALL_XDP, ids=lambda w: w.name)
+    def test_workload_verifies_after_merlin(self, workload):
+        optimized = compile_workload(workload, optimize=True)
+        result = verify(optimized)
+        assert result.ok, result.reason
+
+    @given(st.binary(min_size=24, max_size=24))
+    @settings(max_examples=20, deadline=None)
+    def test_random_ctx_equivalence(self, ctx_bytes):
+        source = """
+u64 f(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u32 b = *(u32*)(ctx + 9);
+    u16 c = *(u16*)(ctx + 14);
+    u64 acc = a ^ (u64)b;
+    acc = acc + ((u64)c << 3);
+    u32 low = (u32)acc;
+    low = low >> 7;
+    return acc + (u64)low;
+}
+"""
+        module = compile_source(source)
+        baseline = compile_baseline(module, "f",
+                                    prog_type=ProgramType.TRACEPOINT,
+                                    ctx_size=24)
+        optimized, _ = optimize(compile_source(source), "f",
+                                prog_type=ProgramType.TRACEPOINT,
+                                ctx_size=24)
+        r0 = Machine(baseline).run(ctx=ctx_bytes).return_value
+        r1 = Machine(optimized).run(ctx=ctx_bytes).return_value
+        assert r0 == r1
+
+    def test_optimized_runs_cheaper(self):
+        baseline, optimized, _ = compile_pair()
+        from repro.workloads.packets import build_packet
+
+        packet = build_packet(64)
+        base_cycles = Machine(baseline).run(packet=packet).counters.cycles
+        opt_cycles = Machine(optimized).run(packet=packet).counters.cycles
+        assert opt_cycles <= base_cycles
+
+
+class TestKernelGating:
+    def test_cc_disabled_for_v2_program(self):
+        # a v2 program must not gain ALU32 instructions
+        module = compile_bpf(SOURCE)
+        pipeline = MerlinPipeline(kernel=KERNELS["6.5"])
+        program, _ = pipeline.compile(module.get("entrypoint"), module,
+                                      mcpu="v2", ctx_size=24)
+        assert not any(
+            i.is_alu32 for i in program.insns
+        )
+        assert program.mcpu == "v2"
+
+    def test_cc_enabled_for_v3_program(self):
+        module = compile_bpf(SOURCE)
+        pipeline = MerlinPipeline(kernel=KERNELS["6.5"])
+        program, report = pipeline.compile(module.get("entrypoint"), module,
+                                           mcpu="v3", ctx_size=24)
+        assert verify(program, KERNELS["6.5"]).ok
+
+    def test_old_kernel_never_sees_alu32(self):
+        module = compile_bpf(SOURCE)
+        pipeline = MerlinPipeline(kernel=KERNELS["4.15"])
+        program, _ = pipeline.compile(module.get("entrypoint"), module,
+                                      mcpu="v3", ctx_size=24)
+        assert verify(program, KERNELS["4.15"]).ok

@@ -1,0 +1,76 @@
+"""Property-based cross-layer tests: randomly generated straight-line
+mini-C programs must behave identically before and after Merlin, on
+every kernel configuration that accepts them."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import compile_baseline, optimize
+from repro.frontend import compile_source
+from repro.isa import ProgramType
+from repro.verifier import verify
+from repro.vm import Machine
+
+_OPS = ["+", "-", "*", "&", "|", "^", "<<", ">>"]
+_TYPES = ["u8", "u16", "u32", "u64"]
+
+
+def _gen_program(rng: random.Random, statements: int) -> str:
+    """A random straight-line program reading ctx and mixing widths."""
+    lines = ["u64 f(u8* ctx) {"]
+    variables = []
+    for i in range(statements):
+        name = f"v{i}"
+        ty = rng.choice(_TYPES)
+        roll = rng.random()
+        if roll < 0.4 or not variables:
+            size = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}[ty]
+            off = rng.randrange(0, 56)
+            lines.append(f"    {ty} {name} = *({ty}*)(ctx + {off});")
+        elif roll < 0.8:
+            a = rng.choice(variables)
+            op = rng.choice(_OPS)
+            operand = rng.choice(variables + [str(rng.randrange(1, 63))])
+            if op in ("<<", ">>"):
+                operand = str(rng.randrange(0, 31))
+            lines.append(f"    {ty} {name} = ({ty})({a} {op} {operand});")
+        else:
+            a = rng.choice(variables)
+            const = rng.randrange(0, 1 << 16)
+            lines.append(
+                f"    {ty} {name} = ({ty})({a} > {const} ? {a} : {const});"
+            )
+        variables.append(name)
+    acc = " ^ ".join(f"(u64){v}" for v in variables[-6:])
+    lines.append(f"    return {acc};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@given(st.integers(0, 10_000), st.integers(3, 14),
+       st.binary(min_size=64, max_size=64))
+@settings(max_examples=30, deadline=None)
+def test_random_programs_equivalent_under_merlin(seed, statements, ctx):
+    source = _gen_program(random.Random(seed), statements)
+    baseline = compile_baseline(compile_source(source), "f",
+                                prog_type=ProgramType.TRACEPOINT,
+                                ctx_size=64)
+    optimized, report = optimize(compile_source(source), "f",
+                                 prog_type=ProgramType.TRACEPOINT,
+                                 ctx_size=64)
+    assert optimized.ni <= baseline.ni
+    r_base = Machine(baseline).run(ctx=ctx).return_value
+    r_opt = Machine(optimized).run(ctx=ctx).return_value
+    assert r_base == r_opt, source
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_random_programs_verify_after_merlin(seed):
+    source = _gen_program(random.Random(seed), 8)
+    optimized, _ = optimize(compile_source(source), "f",
+                            prog_type=ProgramType.TRACEPOINT, ctx_size=64)
+    result = verify(optimized)
+    assert result.ok, f"{result.reason}\n{source}"

@@ -1,0 +1,172 @@
+"""Tnum tests, including hypothesis soundness properties.
+
+The key property of every tnum operation: if x is in A and y is in B,
+then op(x, y) must be contained in A.op(B).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verifier import Tnum
+
+U64 = (1 << 64) - 1
+
+
+def tnums():
+    """Strategy: arbitrary tnums (value/mask non-overlapping)."""
+    return st.builds(
+        lambda v, m: Tnum(v & ~m & U64, m & U64),
+        st.integers(0, U64),
+        st.integers(0, U64),
+    )
+
+
+def member_of(tnum):
+    """Strategy: one concrete member of *tnum*."""
+    return st.integers(0, U64).map(
+        lambda r: (tnum.value | (r & tnum.mask)) & U64
+    )
+
+
+class TestBasics:
+    def test_const(self):
+        t = Tnum.const(42)
+        assert t.is_const and t.value == 42
+        assert t.contains(42) and not t.contains(43)
+
+    def test_unknown_contains_everything(self):
+        t = Tnum.unknown()
+        assert t.contains(0) and t.contains(U64)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Tnum(1, 1)
+
+    def test_range(self):
+        t = Tnum.range(4, 7)
+        for x in (4, 5, 6, 7):
+            assert t.contains(x)
+        assert t.umin <= 4 and t.umax >= 7
+
+    def test_umin_umax(self):
+        t = Tnum(0b1000, 0b0011)
+        assert t.umin == 8
+        assert t.umax == 11
+
+    def test_cast_truncates(self):
+        t = Tnum.const(0x1FF).cast(1)
+        assert t.value == 0xFF
+
+    def test_subset(self):
+        small = Tnum.const(5)
+        big = Tnum(4, 1)  # {4, 5}
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+
+class TestArithmetic:
+    def test_const_add(self):
+        assert Tnum.const(3).add(Tnum.const(4)) == Tnum.const(7)
+
+    def test_const_sub(self):
+        assert Tnum.const(10).sub(Tnum.const(4)) == Tnum.const(6)
+
+    def test_const_mul(self):
+        assert Tnum.const(6).mul(Tnum.const(7)) == Tnum.const(42)
+
+    def test_shift_consts(self):
+        assert Tnum.const(1).lshift(4) == Tnum.const(16)
+        assert Tnum.const(16).rshift(4) == Tnum.const(1)
+
+    def test_and_known_zeros(self):
+        t = Tnum.unknown().and_(Tnum.const(0xFF))
+        assert t.umax <= 0xFF
+
+    def test_or_known_ones(self):
+        t = Tnum.unknown().or_(Tnum.const(0x80))
+        assert t.umin >= 0  # sound but weak; known bit must be set
+        assert t.value & 0x80 or t.mask & 0x80 == 0
+
+    def test_intersect_of_const_and_unknown(self):
+        t = Tnum.unknown().intersect(Tnum.const(9))
+        assert t == Tnum.const(9)
+
+    def test_union_covers_both(self):
+        t = Tnum.const(4).union(Tnum.const(6))
+        assert t.contains(4) and t.contains(6)
+
+
+# --- soundness properties ----------------------------------------------------
+
+@given(st.data(), tnums(), tnums())
+def test_add_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.add(b).contains((x + y) & U64)
+
+
+@given(st.data(), tnums(), tnums())
+def test_sub_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.sub(b).contains((x - y) & U64)
+
+
+@given(st.data(), tnums(), tnums())
+def test_and_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.and_(b).contains(x & y)
+
+
+@given(st.data(), tnums(), tnums())
+def test_or_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.or_(b).contains(x | y)
+
+
+@given(st.data(), tnums(), tnums())
+def test_xor_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.xor(b).contains(x ^ y)
+
+
+@given(st.data(), tnums(), st.integers(0, 63))
+def test_shifts_sound(data, a, shift):
+    x = data.draw(member_of(a))
+    assert a.lshift(shift).contains((x << shift) & U64)
+    assert a.rshift(shift).contains(x >> shift)
+
+
+@given(st.data(), tnums(), tnums())
+def test_mul_sound(data, a, b):
+    x = data.draw(member_of(a))
+    y = data.draw(member_of(b))
+    assert a.mul(b).contains((x * y) & U64)
+
+
+@given(st.data(), tnums())
+def test_cast_sound(data, a):
+    x = data.draw(member_of(a))
+    assert a.cast(4).contains(x & 0xFFFFFFFF)
+
+
+@given(st.data(), tnums(), tnums())
+def test_union_sound(data, a, b):
+    x = data.draw(member_of(a))
+    assert a.union(b).contains(x)
+
+
+@given(st.integers(0, U64), st.integers(0, U64))
+def test_range_contains_endpoints(lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    t = Tnum.range(lo, hi)
+    assert t.contains(lo) and t.contains(hi)
+
+
+@given(st.data(), tnums())
+def test_umin_umax_bound_members(data, a):
+    x = data.draw(member_of(a))
+    assert a.umin <= x <= a.umax

@@ -1,0 +1,144 @@
+"""Unit tests for the verifier's abstract state lattice."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verifier import RegState, RegType, SlotKind, StackSlot, Tnum, VerifierState
+
+U64 = (1 << 64) - 1
+
+
+class TestRegState:
+    def test_const(self):
+        reg = RegState.const(42)
+        assert reg.is_const and reg.const_value == 42
+        assert reg.umin == reg.umax == 42
+
+    def test_const_wraps(self):
+        reg = RegState.const(-1)
+        assert reg.const_value == U64
+
+    def test_scalar_bounds_from_tnum(self):
+        reg = RegState.scalar(Tnum.range(10, 20))
+        # tnum.range over-approximates to a power-of-two envelope
+        assert reg.umin <= 10
+        assert reg.umax >= 20
+
+    def test_pointer_predicates(self):
+        ptr = RegState.pointer(RegType.PTR_TO_STACK)
+        assert ptr.is_pointer and not ptr.is_scalar
+
+    def test_const_value_requires_const(self):
+        with pytest.raises(ValueError):
+            RegState.scalar().const_value
+
+
+class TestSubsumption:
+    def test_not_init_subsumes_everything(self):
+        assert RegState.not_init().subsumes(RegState.const(5))
+        assert RegState.not_init().subsumes(
+            RegState.pointer(RegType.PTR_TO_PACKET))
+
+    def test_wider_scalar_subsumes_narrower(self):
+        wide = RegState.scalar(umin=0, umax=100)
+        narrow = RegState.scalar(Tnum.range(10, 20), umin=10, umax=20)
+        assert wide.subsumes(narrow)
+        assert not narrow.subsumes(wide)
+
+    def test_imprecise_scalar_subsumes_any_scalar(self):
+        a = RegState.const(1)
+        b = RegState.const(2)
+        assert not a.subsumes(b, precise=True)
+        assert a.subsumes(b, precise=False)
+
+    def test_imprecision_does_not_cross_types(self):
+        scalar = RegState.const(0)
+        pointer = RegState.pointer(RegType.PTR_TO_STACK)
+        assert not scalar.subsumes(pointer, precise=False)
+
+    def test_packet_range_direction(self):
+        short = RegState.pointer(RegType.PTR_TO_PACKET, pkt_range=14)
+        long = RegState.pointer(RegType.PTR_TO_PACKET, pkt_range=64)
+        # a state verified with LESS proven range covers one with more
+        assert short.subsumes(long)
+        assert not long.subsumes(short)
+
+    def test_pointer_offsets_must_match(self):
+        a = RegState.pointer(RegType.PTR_TO_STACK, off=-8)
+        b = RegState.pointer(RegType.PTR_TO_STACK, off=-16)
+        assert not a.subsumes(b)
+
+    def test_map_value_requires_same_map(self):
+        a = RegState.pointer(RegType.PTR_TO_MAP_VALUE, map_id=1, value_size=8)
+        b = RegState.pointer(RegType.PTR_TO_MAP_VALUE, map_id=2, value_size=8)
+        assert not a.subsumes(b)
+
+    def test_or_null_requires_same_ref(self):
+        a = RegState.pointer(RegType.PTR_TO_MAP_VALUE_OR_NULL, map_id=1,
+                             ref_id=1)
+        b = RegState.pointer(RegType.PTR_TO_MAP_VALUE_OR_NULL, map_id=1,
+                             ref_id=2)
+        assert not a.subsumes(b)
+        assert a.subsumes(a)
+
+
+class TestVerifierState:
+    def test_initial_state(self):
+        state = VerifierState()
+        assert state.regs[1].type == RegType.PTR_TO_CTX
+        assert state.regs[10].type == RegType.PTR_TO_STACK
+        assert state.regs[0].type == RegType.NOT_INIT
+
+    def test_copy_is_independent(self):
+        state = VerifierState()
+        clone = state.copy()
+        clone.regs[0] = RegState.const(1)
+        clone.stack[-8] = StackSlot(SlotKind.MISC)
+        assert state.regs[0].type == RegType.NOT_INIT
+        assert -8 not in state.stack
+
+    def test_stack_subsumption(self):
+        a = VerifierState()
+        b = VerifierState()
+        b.stack[-8] = StackSlot(SlotKind.MISC)
+        # a (knows nothing about the slot) cannot claim to cover b?
+        # invalid in a means a never relied on it: a subsumes b
+        a.stack[-8] = StackSlot(SlotKind.INVALID)
+        assert a.subsumes(b)
+        # but a state with an initialized slot does NOT cover one without
+        a.stack[-8] = StackSlot(SlotKind.MISC)
+        del b.stack[-8]
+        assert not a.subsumes(b)
+
+    def test_spilled_scalar_subsumes_imprecisely(self):
+        a = VerifierState()
+        b = VerifierState()
+        a.stack[-8] = StackSlot(SlotKind.SPILLED_PTR, RegState.const(1))
+        b.stack[-8] = StackSlot(SlotKind.SPILLED_PTR, RegState.const(2))
+        assert a.subsumes(b)
+
+    def test_spilled_pointer_compares_precisely(self):
+        a = VerifierState()
+        b = VerifierState()
+        a.stack[-8] = StackSlot(
+            SlotKind.SPILLED_PTR,
+            RegState.pointer(RegType.PTR_TO_PACKET, pkt_range=14))
+        b.stack[-8] = StackSlot(
+            SlotKind.SPILLED_PTR,
+            RegState.pointer(RegType.PTR_TO_STACK))
+        assert not a.subsumes(b)
+
+
+@given(st.integers(0, U64))
+def test_const_subsumes_itself(value):
+    reg = RegState.const(value)
+    assert reg.subsumes(reg)
+
+
+@given(st.integers(0, U64), st.integers(0, U64), st.integers(0, U64))
+def test_subsumption_transitivity_on_intervals(a, b, c):
+    lo, mid, hi = sorted((a, b, c))
+    outer = RegState.scalar(umin=lo, umax=hi)
+    inner = RegState.scalar(umin=mid, umax=mid)
+    if outer.subsumes(inner):
+        assert outer.umin <= inner.umin <= inner.umax <= outer.umax

@@ -1,0 +1,193 @@
+"""Workload tests: the 19 XDP programs, suite generators, traffic,
+syscall models."""
+
+import pytest
+
+from repro.verifier import KERNELS, verify
+from repro.vm import Machine
+from repro.workloads import (
+    ALL_XDP,
+    BY_NAME,
+    FORWARDING,
+    LMBENCH_TESTS,
+    POSTMARK,
+    PROFILES,
+    TrafficGenerator,
+    build_packet,
+    compile_suite_program,
+    compile_workload,
+    generate_suite,
+    hook_matches,
+)
+from repro.workloads.packets import ETH_P_IP, IPPROTO_TCP
+
+
+class TestXdpPrograms:
+    def test_nineteen_workloads(self):
+        assert len(ALL_XDP) == 19
+        assert len({w.name for w in ALL_XDP}) == 19
+
+    def test_forwarding_subset(self):
+        assert set(FORWARDING) <= {w.name for w in ALL_XDP}
+        assert len(FORWARDING) == 4
+
+    def test_origins_cover_paper_sources(self):
+        origins = {w.origin for w in ALL_XDP}
+        assert {"kernel", "meta", "hxdp", "cilium"} <= origins
+
+    @pytest.mark.parametrize("workload", ALL_XDP, ids=lambda w: w.name)
+    def test_compiles_and_verifies(self, workload):
+        program = compile_workload(workload)
+        result = verify(program)
+        assert result.ok, f"{workload.name}: {result.reason}"
+
+    def test_balancer_is_largest(self):
+        sizes = {w.name: compile_workload(w).ni for w in ALL_XDP}
+        assert max(sizes, key=sizes.get) == "xdp-balancer"
+
+    def test_xdp2_swaps_macs_and_txes(self):
+        program = compile_workload(BY_NAME["xdp2"])
+        machine = Machine(program)
+        packet = bytes(range(6)) + bytes(range(16, 22)) + b"\x00\x08" + bytes(50)
+        result = machine.run(packet=packet)
+        assert result.xdp_action == 3  # XDP_TX
+        data = bytes(machine.memory.regions["packet"].data[-64:])
+        assert data[0:6] == bytes(range(16, 22))
+        assert data[6:12] == bytes(range(6))
+
+    def test_xdp1_counts_and_drops(self):
+        program = compile_workload(BY_NAME["xdp1"])
+        machine = Machine(program)
+        result = machine.run(packet=build_packet(64))
+        assert result.xdp_action == 1  # XDP_DROP
+
+    def test_ddos_blacklist_drops(self):
+        import struct
+
+        program = compile_workload(BY_NAME["xdp_ddos_mitigator"])
+        machine = Machine(program)
+        bad_ip = 0x0A0000AA
+        machine.maps["blacklist"].update(struct.pack("<I", bad_ip),
+                                         struct.pack("<Q", 0))
+        bad = build_packet(64, src_ip=bad_ip)
+        good = build_packet(64, src_ip=0x0A0000BB)
+        assert machine.run(packet=bad).xdp_action == 1
+        assert machine.run(packet=good).xdp_action == 2
+
+    def test_rate_limiter_eventually_drops(self):
+        program = compile_workload(BY_NAME["xdp_rate_limiter"])
+        machine = Machine(program)
+        packet = build_packet(64, src_ip=0x01020304)
+        actions = [machine.run(packet=packet).xdp_action
+                   for _ in range(150)]
+        assert 1 in actions  # tokens exhausted at some point
+        assert actions[0] == 2  # first packet passes
+
+
+class TestSuites:
+    def test_profiles_match_table1(self):
+        assert PROFILES["sysdig"].count == 168
+        assert PROFILES["tetragon"].count == 186
+        assert PROFILES["tracee"].count == 129
+        assert PROFILES["sysdig"].largest == 33765
+        assert PROFILES["tracee"].mcpu == "v2"
+
+    def test_generation_deterministic(self):
+        a = generate_suite("sysdig", seed=3, scale=0.05, count=4)
+        b = generate_suite("sysdig", seed=3, scale=0.05, count=4)
+        assert [p.source for p in a] == [p.source for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_suite("sysdig", seed=3, scale=0.05, count=4)
+        b = generate_suite("sysdig", seed=4, scale=0.05, count=4)
+        assert [p.source for p in a] != [p.source for p in b]
+
+    @pytest.mark.parametrize("suite", ["sysdig", "tetragon", "tracee"])
+    def test_programs_compile_and_verify(self, suite):
+        for prog in generate_suite(suite, seed=1, scale=0.04, count=3):
+            base = compile_suite_program(prog)
+            opt = compile_suite_program(prog, optimize=True)
+            assert verify(base).ok
+            assert verify(opt).ok
+            assert opt.ni <= base.ni
+
+    def test_sysdig_reduces_more_than_tracee(self):
+        def avg_reduction(suite):
+            reductions = []
+            for prog in generate_suite(suite, seed=2, scale=0.15, count=5):
+                base = compile_suite_program(prog)
+                opt = compile_suite_program(prog, optimize=True)
+                reductions.append(1 - opt.ni / base.ni)
+            return sum(reductions) / len(reductions)
+
+        assert avg_reduction("sysdig") > avg_reduction("tracee") + 0.15
+
+    def test_size_targets_tracked(self):
+        progs = generate_suite("tetragon", seed=1, scale=0.1, count=8)
+        targets = [p.target_ni for p in progs]
+        assert min(targets) < max(targets)
+
+    def test_hooks_assigned(self):
+        progs = generate_suite("tracee", seed=1, scale=0.05, count=4)
+        assert all(p.hook for p in progs)
+
+
+class TestPackets:
+    def test_minimum_frame_size(self):
+        assert len(build_packet(10)) == 60
+
+    def test_eth_proto_position(self):
+        packet = build_packet(64, eth_proto=ETH_P_IP)
+        assert packet[12:14] == (0x0800).to_bytes(2, "little")
+
+    def test_ip_fields(self):
+        packet = build_packet(64, src_ip=0x01020304, dst_ip=0x0A0B0C0D,
+                              proto=IPPROTO_TCP, ttl=9)
+        assert packet[22] == 9
+        assert packet[23] == IPPROTO_TCP
+        assert packet[26:30] == (0x01020304).to_bytes(4, "little")
+        assert packet[30:34] == (0x0A0B0C0D).to_bytes(4, "little")
+
+    def test_ports(self):
+        packet = build_packet(64, src_port=1111, dst_port=2222)
+        assert packet[34:36] == (1111).to_bytes(2, "little")
+        assert packet[36:38] == (2222).to_bytes(2, "little")
+
+    def test_vlan_shifts_l3(self):
+        packet = build_packet(64, vlan=100)
+        assert packet[12:14] == (0x8100).to_bytes(2, "little")
+        assert packet[16:18] == (0x0800).to_bytes(2, "little")
+
+    def test_generator_deterministic(self):
+        a = list(TrafficGenerator(seed=5).stream(10))
+        b = list(TrafficGenerator(seed=5).stream(10))
+        assert a == b
+
+    def test_generator_flow_population(self):
+        generator = TrafficGenerator(seed=5)
+        assert len(generator.flows) == 256
+        packets = list(generator.stream(50))
+        assert len({p[26:34] for p in packets}) > 5  # multiple flows
+
+
+class TestSyscalls:
+    def test_lmbench_covers_table4(self):
+        names = {t.name for t in LMBENCH_TESTS}
+        assert "NULL call" in names
+        assert "fork process" in names
+        assert "pipe" in names
+        assert len(LMBENCH_TESTS) == 15
+
+    def test_vanilla_latencies_match_paper(self):
+        by_name = {t.name: t for t in LMBENCH_TESTS}
+        assert by_name["NULL call"].vanilla_us == 0.06
+        assert by_name["exec process"].vanilla_us == 321.53
+
+    def test_postmark_vanilla(self):
+        assert POSTMARK.vanilla_seconds == 58.86
+
+    def test_hook_matching(self):
+        assert hook_matches("sys_enter_open", "sys_enter_open")
+        assert hook_matches("sys_enter_open", "sys_enter")
+        assert not hook_matches("sys_exit_open", "sys_enter")
+        assert not hook_matches("sched_process_exit", "sys_enter")
