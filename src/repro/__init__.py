@@ -16,6 +16,8 @@ optimizer:
 - :mod:`repro.workloads` — XDP programs and Sysdig/Tetragon/Tracee-style
   suites
 - :mod:`repro.eval` — harnesses regenerating every paper table/figure
+- :mod:`repro.fuzz` — differential fuzzer for the optimizer (generate,
+  diff, bisect to the guilty pass, minimize)
 
 Quickstart::
 

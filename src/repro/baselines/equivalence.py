@@ -5,123 +5,27 @@ follows its fast path — run both programs over a battery of random
 inputs and compare all observable outputs (return value, map contents,
 bytes pushed to user space).  Candidates that survive testing still
 must pass the kernel verifier before being accepted.
+
+The machinery lives in :mod:`repro.fuzz.oracle`, shared with the
+differential fuzzer; this module keeps the names K2 has always imported
+(``TestCase``, ``generate_tests``, ``observable_state``,
+``equivalent``) with identical behaviour.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from ..fuzz.oracle import (
+    RUNTIME_FAULTS as _CANDIDATE_FAULTS,
+    TestCase,
+    equivalent,
+    generate_tests,
+    observable_state,
+)
 
-from ..isa import BpfProgram, ProgramType
-from ..vm import HelperError, Machine, MapError, MemoryFault, VmFault
-
-#: any runtime misbehaviour disqualifies a candidate
-_CANDIDATE_FAULTS = (VmFault, MemoryFault, HelperError, MapError)
-
-
-@dataclass
-class TestCase:
-    ctx: bytes
-    packet: Optional[bytes]
-
-
-def generate_tests(program: BpfProgram, count: int = 8,
-                   seed: int = 7) -> List[TestCase]:
-    """Inputs for the oracle: half realistic traffic (so protocol paths
-    and map-hit paths are exercised), half adversarial random bytes."""
-    from ..workloads.packets import TrafficGenerator
-
-    from ..workloads.packets import FlowProfile
-
-    rng = random.Random(seed)
-    # two flow mixes: plain IPv4 and a vlan/icmp-heavy one, so rare
-    # protocol paths are represented in the battery
-    generators = [
-        TrafficGenerator(seed=seed),
-        TrafficGenerator(FlowProfile(vlan_fraction=0.5, tcp_fraction=0.3,
-                                     udp_fraction=0.3,
-                                     dst_port_choices=(53, 443, 53, 123)),
-                         seed=seed + 1),
-    ]
-    tests: List[TestCase] = []
-    for i in range(count):
-        if program.prog_type == ProgramType.XDP:
-            if i % 4 == 3:
-                length = rng.choice([14, 34, 60, 128, 256, 1500])
-                packet = bytes(rng.randrange(256) for _ in range(length))
-            else:
-                generator = generators[i % 2]
-                packet = generator.packet(rng.choice([60, 64, 128, 512, 1500]))
-                if i % 4 == 2:
-                    # adversarial mutation: flip bytes in a valid frame so
-                    # header-field edge cases are represented
-                    mutable = bytearray(packet)
-                    for _ in range(3):
-                        mutable[rng.randrange(len(mutable))] = rng.randrange(256)
-                    packet = bytes(mutable)
-            tests.append(TestCase(ctx=b"", packet=packet))
-        else:
-            ctx = bytes(rng.randrange(256) for _ in range(program.ctx_size))
-            tests.append(TestCase(ctx=ctx, packet=None))
-    return tests
-
-
-def observable_state(machine: Machine) -> Tuple:
-    """Everything a candidate must reproduce to be 'equal': map
-    contents, bytes pushed to user space, and the (possibly rewritten)
-    packet."""
-    maps_state = []
-    for name in sorted(machine.maps):
-        bpf_map = machine.maps[name]
-        if hasattr(bpf_map, "region"):
-            maps_state.append((name, bytes(bpf_map.region.data)))
-        else:
-            entries = tuple(
-                (key, bytes(region.data))
-                for key, region in sorted(bpf_map.entries.items())
-            )
-            maps_state.append((name, entries))
-    packet_region = machine.memory.regions.get("packet")
-    packet = bytes(packet_region.data) if packet_region is not None else b""
-    return (
-        tuple(maps_state),
-        machine.helpers.output_bytes,
-        packet,
-        tuple(machine.helpers.redirects),
-    )
-
-
-def equivalent(original: BpfProgram, candidate: BpfProgram,
-               tests: List[TestCase], max_insns: int = 200_000,
-               seed: int = 7) -> bool:
-    """True when the two programs agree on every test input.
-
-    Maps are pre-seeded with workload-realistic entries so code behind
-    map-hit branches is exercised (an empty-map oracle would happily
-    approve deleting it)."""
-    from ..workloads.packets import TrafficGenerator
-    from ..workloads.seeding import seed_maps
-
-    generator = TrafficGenerator(seed=seed)
-    for index, test in enumerate(tests):
-        # vary map population across tests (full / partial / empty) so
-        # both hit and miss paths are observed
-        coverage = (1.0, 0.6, 0.0)[index % 3]
-        try:
-            m_orig = Machine(original, max_insns=max_insns)
-            m_cand = Machine(candidate, max_insns=max_insns)
-            if coverage:
-                seed_maps(m_orig, generator, coverage=coverage,
-                          seed=seed + index)
-                seed_maps(m_cand, generator, coverage=coverage,
-                          seed=seed + index)
-            r_orig = m_orig.run(ctx=test.ctx, packet=test.packet)
-            r_cand = m_cand.run(ctx=test.ctx, packet=test.packet)
-        except _CANDIDATE_FAULTS:
-            return False
-        if r_orig.return_value != r_cand.return_value:
-            return False
-        if observable_state(m_orig) != observable_state(m_cand):
-            return False
-    return True
+__all__ = [
+    "_CANDIDATE_FAULTS",
+    "TestCase",
+    "equivalent",
+    "generate_tests",
+    "observable_state",
+]

@@ -6,6 +6,7 @@ Subcommands mirror the real eBPF workflow:
 * ``verify``   — run the kernel-verifier model over a program
 * ``run``      — execute a program on a packet or context
 * ``optimize`` — show Merlin's per-pass report for a source file
+* ``fuzz``     — differential-fuzz the optimizer against the baseline
 """
 
 from __future__ import annotations
@@ -110,6 +111,49 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import LAYERS, run_campaign
+
+    layers = [l.strip() for l in args.layers.split(",")] if args.layers \
+        else list(LAYERS)
+    for layer in layers:
+        if layer not in LAYERS:
+            print(f"unknown layer {layer!r} (choose from {', '.join(LAYERS)})",
+                  file=sys.stderr)
+            return 2
+
+    progress = None if args.json else (
+        lambda line: print(line, file=sys.stderr))
+    report = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        corpus_dir=args.corpus,
+        layers=layers,
+        kernel=KERNELS[args.kernel],
+        tests_per_program=args.tests,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"fuzz: {report.programs_run}/{report.budget} programs "
+              f"({report.programs_skipped} skipped) in "
+              f"{report.elapsed_seconds:.1f}s — "
+              f"{len(report.findings)} divergence(s), "
+              f"{report.roundtrip_failures} round-trip failure(s)")
+        for finding in report.findings:
+            print(f"  {finding.divergence.describe()}")
+            if finding.bisect is not None:
+                print(f"    bisected: {finding.bisect.describe()}")
+            if finding.minimized is not None:
+                print(f"    minimized to {finding.minimized.statements} "
+                      f"statements")
+            if finding.reproducer_path is not None:
+                print(f"    reproducer: {finding.reproducer_path}")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,6 +176,24 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--packet-size", type=int, default=64)
             p.add_argument("--dst-port", type=int, default=80)
         p.set_defaults(handler=handler)
+
+    f = sub.add_parser("fuzz", help="differential-fuzz the optimizer")
+    f.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default: 0)")
+    f.add_argument("--budget", type=int, default=200,
+                   help="number of generated programs (default: 200)")
+    f.add_argument("--corpus", metavar="DIR",
+                   help="write .repro files and regression tests here")
+    f.add_argument("--layers",
+                   help="comma-separated subset of source,ir,bytecode")
+    f.add_argument("--tests", type=int, default=4,
+                   help="test inputs per program (default: 4)")
+    f.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+    f.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    f.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging minimization of findings")
+    f.set_defaults(handler=cmd_fuzz)
     return parser
 
 

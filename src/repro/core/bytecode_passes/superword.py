@@ -25,6 +25,12 @@ from .symbolic import SymbolicProgram
 
 _S32_MIN, _S32_MAX = -(1 << 31), (1 << 31) - 1
 
+#: test-only fault injection: when True, merged stores land one byte
+#: past the pair's base offset.  Exists so the differential fuzzer's
+#: self-test can prove it detects, bisects, and minimizes a real
+#: miscompile; never set outside tests.
+PLANTED_OFFSET_BUG = False
+
 
 def merged_immediate(lo_value: int, hi_value: int, size: int) -> Optional[int]:
     """Combine two *size*-byte store immediates into one 2*size value.
@@ -93,6 +99,7 @@ class SuperwordMergePass(BytecodePass):
         imm = merged_immediate(lo.imm, hi.imm, size)
         if imm is None:
             return False
-        sym.replace(index, ins.store_imm(size * 2, lo.dst, lo.off, imm))
+        off = lo.off + 1 if PLANTED_OFFSET_BUG else lo.off
+        sym.replace(index, ins.store_imm(size * 2, lo.dst, off, imm))
         sym.delete(nxt)
         return True

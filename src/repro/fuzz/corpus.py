@@ -1,0 +1,85 @@
+"""Corpus management: persist findings as ready-to-commit artifacts.
+
+Every confirmed divergence is written out twice: the raw program text
+(``.repro`` file, for replaying with the CLI) and a self-contained
+pytest regression test that re-runs the minimized program through
+:func:`repro.fuzz.differential.replay` and fails while the bug exists
+(``assert divergence is None``).  Drop the generated test into
+``tests/`` and it guards the fix forever.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .bisect import BisectResult
+from .differential import Divergence
+from .generator import GeneratedProgram
+
+_TEST_TEMPLATE = '''\
+"""Auto-generated regression test (repro fuzz).
+
+{headline}
+Guilty pass: {guilty}.  Remove this file only if the behaviour below
+is an intentional semantics change.
+"""
+
+from repro.fuzz.differential import replay
+
+PROGRAM = {text!r}
+
+
+def test_{slug}():
+    divergence = replay(
+        layer={layer!r},
+        text=PROGRAM,
+        entry={entry!r},
+        enabled={enabled!r},
+        prog_type={prog_type!r},
+        ctx_size={ctx_size},
+        mcpu={mcpu!r},
+    )
+    assert divergence is None, divergence.describe()
+'''
+
+
+def reproducer_name(divergence: Divergence) -> str:
+    """Stable, filesystem-safe identifier for a finding."""
+    case = divergence.case
+    return f"{case.layer}_seed{case.seed}_{divergence.kind}"
+
+
+def write_reproducer(directory: str, divergence: Divergence,
+                     minimized: Optional[GeneratedProgram] = None,
+                     bisect: Optional[BisectResult] = None) -> str:
+    """Write the ``.repro`` text and regression test; return test path."""
+    os.makedirs(directory, exist_ok=True)
+    case = minimized if minimized is not None else divergence.case
+    slug = reproducer_name(divergence)
+
+    repro_path = os.path.join(directory, f"{slug}.repro")
+    with open(repro_path, "w") as handle:
+        handle.write(f"# {divergence.describe()}\n")
+        if bisect is not None:
+            handle.write(f"# {bisect.describe()}\n")
+        handle.write(case.text)
+        if not case.text.endswith("\n"):
+            handle.write("\n")
+
+    guilty = bisect.describe() if bisect is not None else "not bisected"
+    test_path = os.path.join(directory, f"test_{slug}.py")
+    with open(test_path, "w") as handle:
+        handle.write(_TEST_TEMPLATE.format(
+            headline=divergence.describe(),
+            guilty=guilty,
+            text=case.text,
+            slug=slug,
+            layer=case.layer,
+            entry=case.name,
+            enabled=tuple(divergence.enabled),
+            prog_type=case.prog_type.value,
+            ctx_size=case.ctx_size,
+            mcpu=case.mcpu,
+        ))
+    return test_path

@@ -1,0 +1,167 @@
+"""Campaign driver: generate → diff → bisect → minimize → persist.
+
+One campaign runs ``budget`` generated programs round-robin across the
+enabled layers, checks each against every pass configuration with the
+differential oracle, and — for each divergence — bisects the guilty
+pass, shrinks the program with the delta debugger, and writes a
+ready-to-commit regression test into the corpus directory.  Every
+program also gets an assembler/disassembler round-trip check for free,
+since the baseline bytecode is already in hand.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..isa import assemble, disassemble
+from ..verifier import DEFAULT_KERNEL, KernelConfig
+from .bisect import BisectResult, bisect_divergence
+from .corpus import write_reproducer
+from .differential import (
+    PASS_CONFIGS,
+    Divergence,
+    check_config,
+    observe_baseline,
+)
+from .generator import LAYERS, GeneratedProgram, generate
+from .minimize import minimize_divergence
+
+
+@dataclass
+class FuzzFinding:
+    """One confirmed divergence, fully triaged."""
+
+    divergence: Divergence
+    bisect: Optional[BisectResult] = None
+    minimized: Optional[GeneratedProgram] = None
+    reproducer_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        case = self.divergence.case
+        out = {
+            "layer": case.layer,
+            "seed": case.seed,
+            "kind": self.divergence.kind,
+            "enabled": list(self.divergence.enabled),
+            "detail": self.divergence.detail,
+            "test_index": self.divergence.test_index,
+            "statements": case.statements,
+        }
+        if self.bisect is not None:
+            out["guilty_pass"] = self.bisect.guilty_pass
+            out["guilty_tier"] = self.bisect.guilty_tier
+            out["standalone"] = self.bisect.standalone
+        if self.minimized is not None:
+            out["minimized_statements"] = self.minimized.statements
+            out["minimized_text"] = self.minimized.text
+        if self.reproducer_path is not None:
+            out["reproducer"] = self.reproducer_path
+        return out
+
+
+@dataclass
+class FuzzReport:
+    """Everything a campaign did, JSON-serializable for the CLI."""
+
+    seed: int
+    budget: int
+    layers: List[str]
+    programs_run: int = 0
+    programs_skipped: int = 0  # generated program failed to build at all
+    roundtrip_failures: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.roundtrip_failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "layers": self.layers,
+            "programs_run": self.programs_run,
+            "programs_skipped": self.programs_skipped,
+            "roundtrip_failures": self.roundtrip_failures,
+            "divergences": len(self.findings),
+            "clean": self.clean,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def check_roundtrip(program) -> bool:
+    """``assemble(disassemble(p)) == p`` — the ISA text format must be
+    lossless or minimized reproducers would lie about the program."""
+    return assemble(disassemble(program.insns)) == list(program.insns)
+
+
+def run_campaign(seed: int = 0, budget: int = 200,
+                 corpus_dir: Optional[str] = None,
+                 layers: Sequence[str] = LAYERS,
+                 configs: Sequence[FrozenSet[str]] = PASS_CONFIGS,
+                 kernel: KernelConfig = DEFAULT_KERNEL,
+                 tests_per_program: int = 4,
+                 minimize: bool = True,
+                 progress=None) -> FuzzReport:
+    """Run one differential-fuzzing campaign of *budget* programs."""
+    report = FuzzReport(seed=seed, budget=budget, layers=list(layers))
+    started = time.monotonic()
+
+    for index in range(budget):
+        layer = layers[index % len(layers)]
+        # distinct seed stream per layer so adding a layer does not
+        # reshuffle every other layer's programs
+        case = generate(layer, seed * 1_000_003 + index)
+
+        try:
+            baseline = observe_baseline(case, kernel, tests_per_program)
+        except Exception:
+            # generator produced something the toolchain rejects outright
+            # (both sides agree, so nothing differential to learn)
+            report.programs_skipped += 1
+            continue
+        report.programs_run += 1
+
+        if not check_roundtrip(baseline.program):
+            report.roundtrip_failures += 1
+            if progress:
+                progress(f"[{index}] {layer}: asm round-trip failed")
+
+        divergence: Optional[Divergence] = None
+        for enabled in configs:
+            divergence = check_config(case, enabled, baseline, kernel)
+            if divergence is not None:
+                break
+        if divergence is None:
+            continue
+
+        if progress:
+            progress(f"[{index}] {divergence.describe()}")
+        finding = FuzzFinding(divergence)
+        try:
+            finding.bisect = bisect_divergence(divergence, kernel,
+                                               baseline=baseline,
+                                               tests_per_program=tests_per_program)
+        except Exception:
+            pass
+        if minimize:
+            try:
+                finding.minimized = minimize_divergence(
+                    divergence, kernel, tests_per_program=tests_per_program)
+            except Exception:
+                pass
+        if corpus_dir is not None:
+            finding.reproducer_path = write_reproducer(
+                corpus_dir, divergence, finding.minimized, finding.bisect)
+        report.findings.append(finding)
+
+    report.elapsed_seconds = time.monotonic() - started
+    return report

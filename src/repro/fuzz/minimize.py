@@ -1,0 +1,149 @@
+"""Delta-debugging minimizer: shrink a diverging program.
+
+Classic ddmin (Zeller & Hildebrandt) over the program's surface text —
+top-level statements for mini-C, instruction lines for IR and assembly
+— followed by a line-wise sweep.  A candidate "reproduces" when it
+still compiles as a baseline AND still diverges under the original
+enabled-pass configuration; candidates that break the parser, the
+verifier, or the divergence simply fail the predicate and are kept
+un-removed, so no layer needs structure-aware repair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+from ..verifier import DEFAULT_KERNEL, KernelConfig
+from .differential import Divergence, check_config, observe_baseline
+from .generator import GeneratedProgram
+
+#: one removable unit: a group of line indices dropped or kept together
+Chunk = List[int]
+
+
+def ddmin(chunks: List[Chunk],
+          reproduces: Callable[[List[Chunk]], bool]) -> List[Chunk]:
+    """Minimal (1-minimal-ish) subset of *chunks* still reproducing."""
+    granularity = 2
+    while len(chunks) >= 2:
+        subset_size = max(1, len(chunks) // granularity)
+        reduced = False
+        for start in range(0, len(chunks), subset_size):
+            complement = chunks[:start] + chunks[start + subset_size:]
+            if complement and reproduces(complement):
+                chunks = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(chunks):
+                break
+            granularity = min(len(chunks), granularity * 2)
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# chunking per layer
+# ----------------------------------------------------------------------
+def _source_chunks(lines: List[str]) -> List[Chunk]:
+    """Removable chunks for mini-C: map declarations and top-level
+    statements (a statement spans its whole nested block, so coarse
+    ddmin rounds drop an if/for construct in one step).  The function
+    signature, the final return, and the closing brace stay."""
+    open_index = next(
+        i for i, line in enumerate(lines)
+        if line.rstrip().endswith("{")
+        and not line.strip().startswith(("if", "for", "while")))
+    return_index = max(i for i, line in enumerate(lines)
+                       if line.strip().startswith("return"))
+
+    chunks: List[Chunk] = [[i] for i in range(open_index)]  # map decls
+    depth = 0
+    current: Chunk = []
+    for index in range(open_index + 1, return_index):
+        current.append(index)
+        depth += lines[index].count("{") - lines[index].count("}")
+        if depth == 0:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _chunk_case(case: GeneratedProgram, lines: List[str]) -> List[Chunk]:
+    if case.layer == "source":
+        return _source_chunks(lines)
+    if case.layer == "ir":
+        def removable(line: str) -> bool:
+            stripped = line.strip()
+            return bool(stripped) and not (
+                stripped.startswith("define") or stripped.endswith(":")
+                or stripped == "}" or stripped.startswith("ret "))
+    else:  # bytecode: labels and the exit stay put
+        def removable(line: str) -> bool:
+            stripped = line.strip()
+            return bool(stripped) and not stripped.endswith(":") \
+                and stripped != "exit"
+    return [[i] for i, line in enumerate(lines) if removable(line)]
+
+
+def _reassemble(lines: List[str], chunks: List[Chunk],
+                removable: Set[int]) -> str:
+    keep = set(range(len(lines))) - removable
+    for chunk in chunks:
+        keep.update(chunk)
+    return "\n".join(lines[i] for i in sorted(keep))
+
+
+# ----------------------------------------------------------------------
+# the minimizer proper
+# ----------------------------------------------------------------------
+def minimize_divergence(divergence: Divergence,
+                        kernel: KernelConfig = DEFAULT_KERNEL,
+                        tests_per_program: int = 4,
+                        oracle_seed: int = 7,
+                        max_probes: int = 600) -> GeneratedProgram:
+    """Shrink the diverging program to a minimal reproducer."""
+    case = divergence.case
+    enabled = frozenset(divergence.enabled)
+    budget = [max_probes]
+
+    def reproduces_text(text: str) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        variant = case.replace_text(text)
+        try:
+            baseline = observe_baseline(variant, kernel, tests_per_program,
+                                        oracle_seed)
+        except Exception:  # variant no longer compiles: not a reproducer
+            return False
+        return check_config(variant, enabled, baseline, kernel) is not None
+
+    lines = case.text.splitlines()
+    chunks = _chunk_case(case, lines)
+    removable = {index for chunk in chunks for index in chunk}
+
+    def reproduces(candidate: List[Chunk]) -> bool:
+        return reproduces_text(_reassemble(lines, candidate, removable))
+
+    if reproduces(chunks):  # sanity: the unmodified program reproduces
+        chunks = ddmin(chunks, reproduces)
+    text = _reassemble(lines, chunks, removable)
+
+    # line-level sweep: chunks are statements; single lines inside a
+    # surviving block (or half of a pair) may still be droppable
+    current = text.splitlines()
+    kept_removable = {lines[i] for chunk in chunks for i in chunk}
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for index in range(len(current) - 1, -1, -1):
+            if current[index] not in kept_removable:
+                continue
+            candidate = current[:index] + current[index + 1:]
+            if reproduces_text("\n".join(candidate)):
+                current = candidate
+                changed = True
+    return case.replace_text("\n".join(current))

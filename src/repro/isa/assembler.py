@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from . import opcodes as op
 from . import instruction as ins
+from .helpers import BPF_PSEUDO_MAP_FD
 from .instruction import Instruction
 
 _SIZE_BY_NAME = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}
@@ -256,12 +257,13 @@ def _parse_alu_or_load(
     rhs = rhs.strip()
 
     if symbol == "=":
-        # ld_imm64:  r1 = 0x1234 ll
-        match = re.match(r"^(\S+)\s+ll$", rhs)
+        # ld_imm64:  r1 = 0x1234 ll   |   r1 = map_fd 3 ll
+        match = re.match(r"^(?:(map_fd)\s+)?(\S+)\s+ll$", rhs)
         if match:
             if is32:
                 raise AssemblerError(line_no, line, "ld_imm64 needs a 64-bit dst")
-            return ins.ld_imm64(dst_reg, _parse_int(match.group(1))), None
+            src = BPF_PSEUDO_MAP_FD if match.group(1) else 0
+            return ins.ld_imm64(dst_reg, _parse_int(match.group(2)), src), None
         # load
         mem = _parse_mem(rhs)
         if mem is not None:

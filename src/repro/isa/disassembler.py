@@ -52,6 +52,8 @@ def _mem(insn: Instruction, base: int) -> str:
 def format_instruction(insn: Instruction) -> str:
     """Render one instruction in kernel-assembler-like syntax."""
     if insn.is_ld_imm64:
+        if insn.src:  # BPF_PSEUDO_MAP_FD: imm is a map fd, not a constant
+            return f"r{insn.dst} = map_fd {insn.imm} ll"
         return f"r{insn.dst} = {insn.imm:#x} ll"
 
     if insn.is_alu:

@@ -283,9 +283,15 @@ def mov32_reg(dst: int, src: int) -> Instruction:
     return alu32("mov", dst, src=src)
 
 
-def ld_imm64(dst: int, imm: int) -> Instruction:
-    """Load a full 64-bit immediate (occupies two encoding slots)."""
-    return Instruction(op.BPF_LD | op.BPF_IMM | op.BPF_DW, dst=dst, imm=imm & _U64)
+def ld_imm64(dst: int, imm: int, src: int = 0) -> Instruction:
+    """Load a full 64-bit immediate (occupies two encoding slots).
+
+    *src* carries the pseudo-relocation kind (``BPF_PSEUDO_MAP_FD``
+    marks *imm* as a map file descriptor rather than a plain constant).
+    """
+    return Instruction(
+        op.BPF_LD | op.BPF_IMM | op.BPF_DW, dst=dst, src=src, imm=imm & _U64
+    )
 
 
 def load(size: int, dst: int, src: int, off: int = 0) -> Instruction:

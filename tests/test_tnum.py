@@ -170,3 +170,112 @@ def test_range_contains_endpoints(lo, hi):
 def test_umin_umax_bound_members(data, a):
     x = data.draw(member_of(a))
     assert a.umin <= x <= a.umax
+
+
+# --- edge cases, cross-checked against concrete enumeration ------------------
+
+def members(t):
+    """Every concrete value of *t* (mask popcount must be small)."""
+    bits = [1 << i for i in range(64) if t.mask >> i & 1]
+    values = [t.value]
+    for bit in bits:
+        values += [v | bit for v in values]
+    return values
+
+
+def small_tnums(width=3):
+    """All tnums confined to the low *width* bits."""
+    out = []
+    for mask in range(1 << width):
+        for value in range(1 << width):
+            if value & mask == 0:
+                out.append(Tnum(value, mask))
+    return out
+
+
+_BINOPS = [
+    ("add", lambda x, y: (x + y) & U64),
+    ("sub", lambda x, y: (x - y) & U64),
+    ("mul", lambda x, y: (x * y) & U64),
+    ("and_", lambda x, y: x & y),
+    ("or_", lambda x, y: x | y),
+    ("xor", lambda x, y: x ^ y),
+]
+
+
+@pytest.mark.parametrize("name,concrete", _BINOPS, ids=[n for n, _ in _BINOPS])
+def test_binop_sound_exhaustive_small(name, concrete):
+    """Soundness by *complete* enumeration on 3-bit tnums: hypothesis
+    samples members, this leaves nothing to sampling luck."""
+    universe = small_tnums(3)
+    for a in universe:
+        for b in universe:
+            result = getattr(a, name)(b)
+            for x in members(a):
+                for y in members(b):
+                    assert result.contains(concrete(x, y)), (a, b, x, y)
+
+
+class TestShiftEdges:
+    def test_shift_by_64_is_identity(self):
+        # the kernel reduces shift amounts mod 64 (BPF semantics);
+        # shifting by 64 must not silently become "result is 0"
+        t = Tnum(0b1000, 0b0011)
+        assert t.lshift(64) == t
+        assert t.rshift(64) == t
+
+    def test_shift_past_64_wraps(self):
+        assert Tnum.const(5).lshift(65) == Tnum.const(10)
+        assert Tnum.const(4).rshift(66) == Tnum.const(1)
+
+    def test_lshift_63_overflow_drops_high_bits(self):
+        assert Tnum.const(3).lshift(63) == Tnum.const(1 << 63)
+
+    @given(st.data(), tnums(), st.integers(0, 200))
+    def test_any_shift_amount_sound(self, data, a, shift):
+        x = data.draw(member_of(a))
+        assert a.lshift(shift).contains((x << (shift % 64)) & U64)
+        assert a.rshift(shift).contains(x >> (shift % 64))
+
+
+class TestFullUnknown:
+    def test_unknown_absorbs_arithmetic(self):
+        u = Tnum.unknown()
+        for op in ("add", "sub", "xor", "or_"):
+            assert getattr(u, op)(u) == u
+
+    def test_unknown_and_const_zero(self):
+        assert Tnum.unknown().and_(Tnum.const(0)) == Tnum.const(0)
+
+    def test_unknown_and_keeps_known_zeros(self):
+        t = Tnum.unknown().and_(Tnum.const(0xF0))
+        for x in range(256):
+            assert t.contains(x & 0xF0)
+
+    def test_unknown_mul_sound_on_samples(self):
+        u = Tnum.unknown()
+        product = u.mul(u)
+        for x, y in [(0, 0), (1, U64), (U64, U64), (1 << 63, 2)]:
+            assert product.contains((x * y) & U64)
+
+
+class TestMulOverflow:
+    def test_mul_wraps_at_64_bits(self):
+        assert Tnum.const(1 << 63).mul(Tnum.const(2)) == Tnum.const(0)
+
+    def test_mul_minus_one_squared(self):
+        assert Tnum.const(U64).mul(Tnum.const(U64)) == Tnum.const(1)
+
+    def test_mul_high_uncertain_bit_overflow(self):
+        # {0, 2^63} * 2: both members wrap to 0
+        a = Tnum(0, 1 << 63)
+        assert a.mul(Tnum.const(2)).contains(0)
+
+    @given(st.data(), tnums(), tnums())
+    def test_mul_sound_near_overflow(self, data, a, b):
+        # bias members toward the top of the range by setting high bits
+        x = data.draw(member_of(a)) | (1 << 63)
+        y = data.draw(member_of(b)) | (1 << 62)
+        shifted_a = a.or_(Tnum.const(1 << 63))
+        shifted_b = b.or_(Tnum.const(1 << 62))
+        assert shifted_a.mul(shifted_b).contains((x * y) & U64)
