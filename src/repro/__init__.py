@@ -66,8 +66,8 @@ def optimize(
 ) -> Tuple[BpfProgram, MerlinReport]:
     """Compile one function through the full Merlin pipeline.
 
-    Note: the IR passes mutate *module*; recompile from source if you
-    need the unoptimized IR again.
+    The pipeline compiles from a private clone, so *module* comes back
+    unchanged and repeated calls yield identical reports.
     """
     func = module.get(function) if function else next(iter(module))
     pipeline = MerlinPipeline(**pipeline_kwargs)

@@ -1,0 +1,93 @@
+"""Content-addressed cache keys for compilation results.
+
+A key digests everything that determines the output of
+:meth:`MerlinPipeline.compile`:
+
+* the **canonical IR text** of the function being compiled (the same
+  textual form ``repro.fuzz`` round-trips through), plus the module's
+  map declarations and sibling functions when a module is supplied —
+  codegen reads both;
+* the **enabled optimizer set** (sorted short names);
+* the **kernel configuration** (every field: the gate decisions, limits
+  and verifier cost model all feed the result);
+* **mcpu**, **program type**, **ctx size**, and ``verify_after``.
+
+Keys are hex SHA-256 digests, so they are safe as file names for the
+on-disk store.  ``SCHEMA_VERSION`` is folded in; bump it whenever the
+serialized entry format or pipeline semantics change incompatibly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import FrozenSet, Iterable, Optional
+
+from .. import ir
+from ..ir.printer import print_function, print_module
+from ..isa import ProgramType
+from ..verifier import KernelConfig
+
+#: bump to invalidate every previously written cache entry
+SCHEMA_VERSION = 1
+
+
+def canonical_text(func: ir.Function, module: Optional[ir.Module] = None) -> str:
+    """The text-canonical form of a compilation input.
+
+    With a module, the whole module is rendered (maps and sibling
+    functions can both affect codegen) and the entry point is recorded;
+    without one, the function's own textual IR stands alone.
+    """
+    if module is not None:
+        return f"entry @{func.name}\n{print_module(module)}"
+    return print_function(func)
+
+
+def kernel_fingerprint(kernel: KernelConfig) -> str:
+    """Every field of the kernel config, in declaration order."""
+    return ",".join(
+        f"{f.name}={getattr(kernel, f.name)}"
+        for f in dataclasses.fields(kernel)
+    )
+
+
+def compose_key(
+    ir_text: str,
+    enabled: Iterable[str],
+    kernel: KernelConfig,
+    prog_type: ProgramType = ProgramType.XDP,
+    mcpu: str = "v2",
+    ctx_size: int = 64,
+    verify_after: bool = False,
+) -> str:
+    """SHA-256 hex digest over the full compilation configuration."""
+    parts = (
+        f"schema={SCHEMA_VERSION}",
+        f"passes={','.join(sorted(enabled))}",
+        f"kernel={kernel_fingerprint(kernel)}",
+        f"prog_type={prog_type.value}",
+        f"mcpu={mcpu}",
+        f"ctx_size={ctx_size}",
+        f"verify_after={int(verify_after)}",
+        "ir:",
+        ir_text,
+    )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def key_for_function(
+    func: ir.Function,
+    module: Optional[ir.Module] = None,
+    *,
+    enabled: FrozenSet[str],
+    kernel: KernelConfig,
+    prog_type: ProgramType = ProgramType.XDP,
+    mcpu: str = "v2",
+    ctx_size: int = 64,
+    verify_after: bool = False,
+) -> str:
+    """Key an IR function directly (renders its canonical text first)."""
+    return compose_key(canonical_text(func, module), enabled, kernel,
+                       prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
+                       verify_after=verify_after)

@@ -1,0 +1,171 @@
+"""The compilation cache: an in-memory LRU layer over an optional
+on-disk content-addressed store.
+
+Entries are stored *pickled* even in memory: every ``get`` deserializes
+a private copy, so callers can freely mutate the returned program (the
+bytecode passes rewrite in place) without corrupting the cache — the
+same property the disk layer gets for free.  Deserializing is orders of
+magnitude cheaper than recompiling, which is the whole point.
+
+The disk layout is ``<dir>/<digest[:2]>/<digest>.pkl`` (git-style
+sharding keeps directories small at fleet scale); writes go through a
+temp file + ``os.replace`` so concurrent writers — e.g. the parallel
+batch compiler's worker processes — can never expose a torn entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from .. import ir
+from ..core.pipeline import MerlinReport
+from ..isa import BpfProgram, ProgramType
+from ..verifier import KernelConfig
+from . import keys as _keys
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, mergeable across worker processes."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CompilationCache:
+    """Content-addressed cache of ``(BpfProgram, MerlinReport)`` pairs.
+
+    ``max_memory_entries`` bounds the LRU layer; overflow evicts the
+    least-recently-used entry (still recoverable from disk when a
+    ``directory`` is configured).  ``directory=None`` keeps the cache
+    purely in-memory.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_memory_entries: int = 1024):
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.directory = directory
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------- keys
+    def key_for_function(self, func: ir.Function,
+                         module: Optional[ir.Module] = None, *,
+                         enabled: FrozenSet[str], kernel: KernelConfig,
+                         prog_type: ProgramType = ProgramType.XDP,
+                         mcpu: str = "v2", ctx_size: int = 64,
+                         verify_after: bool = False) -> str:
+        return _keys.key_for_function(
+            func, module, enabled=enabled, kernel=kernel,
+            prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
+            verify_after=verify_after)
+
+    # ----------------------------------------------------------- lookup
+    def get(self, key: str) -> Optional[Tuple[BpfProgram, MerlinReport]]:
+        blob = self._memory.get(key)
+        if blob is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return pickle.loads(blob)
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                entry = pickle.loads(blob)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                entry = None
+            if entry is not None:
+                self._remember(key, blob)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, program: BpfProgram, report: MerlinReport) -> None:
+        blob = pickle.dumps((program, report))
+        self._remember(key, blob)
+        if self.directory is not None:
+            self._write_disk(key, blob)
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the LRU layer (disk entries, if any, survive)."""
+        self._memory.clear()
+
+    # ---------------------------------------------------------- helpers
+    def _remember(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, key[:2], f"{key}.pkl")
+
+    def _write_disk(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

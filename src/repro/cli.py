@@ -7,6 +7,7 @@ Subcommands mirror the real eBPF workflow:
 * ``run``      — execute a program on a packet or context
 * ``optimize`` — show Merlin's per-pass report for a source file
 * ``fuzz``     — differential-fuzz the optimizer against the baseline
+* ``bench``    — batch-compile a Table-1 suite (parallel, cached)
 """
 
 from __future__ import annotations
@@ -132,6 +133,7 @@ def cmd_fuzz(args) -> int:
         kernel=KERNELS[args.kernel],
         tests_per_program=args.tests,
         minimize=not args.no_minimize,
+        jobs=args.jobs,
         progress=progress,
     )
     if args.json:
@@ -152,6 +154,58 @@ def cmd_fuzz(args) -> int:
             if finding.reproducer_path is not None:
                 print(f"    reproducer: {finding.reproducer_path}")
     return 0 if report.clean else 1
+
+
+def cmd_bench(args) -> int:
+    import json as _json
+
+    from .cache import CompilationCache
+    from .core import MerlinPipeline
+    from .workloads.suites import PROFILES, generate_suite, suite_jobs
+
+    suites = [s.strip() for s in args.suite.split(",")]
+    for suite in suites:
+        if suite not in PROFILES:
+            print(f"unknown suite {suite!r} (choose from "
+                  f"{', '.join(sorted(PROFILES))})", file=sys.stderr)
+            return 2
+
+    cache = None
+    if args.cache is not None:
+        cache = CompilationCache(directory=args.cache)
+    pipeline = MerlinPipeline(kernel=KERNELS[args.kernel])
+    payload = []
+    for suite in suites:
+        programs = generate_suite(suite, seed=args.seed, scale=args.scale,
+                                  count=args.count)
+        batch = pipeline.compile_many(
+            suite_jobs(programs, mcpu=args.mcpu or None),
+            jobs=args.jobs, cache=cache)
+        row = {
+            "suite": suite,
+            "programs": len(batch),
+            "jobs": batch.jobs,
+            "ni_original": batch.ni_original,
+            "ni_optimized": batch.ni_optimized,
+            "ni_reduction": round(batch.ni_reduction, 4),
+            "wall_seconds": round(batch.wall_seconds, 3),
+        }
+        if batch.cache_stats is not None:
+            row["cache"] = batch.cache_stats.to_dict()
+        payload.append(row)
+        if not args.json:
+            print(f"{suite}: {row['programs']} programs, "
+                  f"NI {row['ni_original']} -> {row['ni_optimized']} "
+                  f"({row['ni_reduction'] * 100:.1f}% reduction) in "
+                  f"{row['wall_seconds']:.2f}s with {row['jobs']} job(s)")
+            if "cache" in row:
+                c = row["cache"]
+                print(f"  cache: {c['hits']} hit(s) / {c['misses']} miss(es) "
+                      f"({c['hit_rate'] * 100:.0f}% hit rate), "
+                      f"{c['evictions']} eviction(s)")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,7 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the full report as JSON")
     f.add_argument("--no-minimize", action="store_true",
                    help="skip delta-debugging minimization of findings")
+    f.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for program triage (default: 1)")
     f.set_defaults(handler=cmd_fuzz)
+
+    b = sub.add_parser("bench", help="batch-compile a suite through Merlin")
+    b.add_argument("--suite", default="sysdig",
+                   help="comma-separated suites (sysdig,tetragon,tracee)")
+    b.add_argument("--scale", type=float, default=0.2,
+                   help="fraction of Table-1 program sizes (default: 0.2)")
+    b.add_argument("--count", type=int, default=None,
+                   help="programs per suite (default: profile-derived)")
+    b.add_argument("--seed", type=int, default=2024)
+    b.add_argument("--jobs", type=int, default=1,
+                   help="compiler worker processes (default: 1)")
+    b.add_argument("--cache", metavar="DIR",
+                   help="content-addressed compilation cache directory")
+    b.add_argument("--mcpu", default=None, choices=["v2", "v3"],
+                   help="override the suite profile's mcpu")
+    b.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+    b.add_argument("--json", action="store_true",
+                   help="emit machine-readable results")
+    b.set_defaults(handler=cmd_bench)
     return parser
 
 

@@ -11,6 +11,7 @@ from .ir_passes.constprop import ConstantPropagationPass
 from .ir_passes.dce import DeadCodeEliminationPass
 from .ir_passes.macro_fusion import MacroOpFusionPass
 from .ir_passes.superword import SuperwordMergeIRPass
+from .batch import BatchReport, CompileJob, compile_many, default_jobs, optimize_many
 from .pass_manager import BytecodePass, IRPass, PassStats
 from .pipeline import (
     ALL_OPTIMIZERS,
@@ -37,6 +38,11 @@ __all__ = [
     "DeadCodeEliminationPass",
     "MacroOpFusionPass",
     "SuperwordMergeIRPass",
+    "BatchReport",
+    "CompileJob",
+    "compile_many",
+    "default_jobs",
+    "optimize_many",
     "BytecodePass",
     "IRPass",
     "PassStats",

@@ -1,0 +1,237 @@
+"""Parallel batch compilation: many programs, many processes, one cache.
+
+``compile_many`` fans a list of :class:`CompileJob` source programs out
+over a ``ProcessPoolExecutor`` (``jobs=1`` stays in-process, which also
+lets a purely in-memory cache participate); each worker runs the full
+Merlin pipeline and ships its per-pass :class:`PassStats` back inside
+the job's :class:`MerlinReport`, so a batched compile is report-for-
+report identical to a sequential loop.  ``optimize_many`` is the
+bytecode-tier-only sibling for already-compiled programs.
+
+Caching across processes goes through the cache's *disk* store (the
+memory layer is per-process); worker hit/miss counters are merged into
+the parent's :class:`CacheStats` so a batch run reports one coherent
+hit rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..isa import BpfProgram, ProgramType
+from ..verifier import DEFAULT_KERNEL, KernelConfig
+from .pipeline import MerlinPipeline, MerlinReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import CacheStats, CompilationCache
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One source program to push through the pipeline."""
+
+    name: str
+    source: str
+    entry: str
+    prog_type: ProgramType = ProgramType.XDP
+    mcpu: str = "v2"
+    ctx_size: int = 64
+
+
+@dataclass
+class BatchReport:
+    """The outcome of one ``compile_many``/``optimize_many`` run."""
+
+    programs: List[BpfProgram] = field(default_factory=list)
+    reports: List[MerlinReport] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cache_stats: Optional["CacheStats"] = None
+
+    def __iter__(self):
+        return iter(zip(self.programs, self.reports))
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    @property
+    def ni_original(self) -> int:
+        return sum(r.ni_original for r in self.reports)
+
+    @property
+    def ni_optimized(self) -> int:
+        return sum(r.ni_optimized for r in self.reports)
+
+    @property
+    def ni_reduction(self) -> float:
+        if not self.ni_original:
+            return 0.0
+        return 1.0 - self.ni_optimized / self.ni_original
+
+
+def _pipeline_spec(pipeline: MerlinPipeline) -> tuple:
+    return (pipeline.kernel, tuple(sorted(pipeline.enabled)),
+            pipeline.verify_after)
+
+
+def _compile_one(spec: tuple, job: CompileJob, cache_dir: Optional[str]
+                 ) -> Tuple[BpfProgram, MerlinReport, Optional[dict]]:
+    """Worker entry point: compile one job, report cache counters."""
+    from ..frontend import compile_source
+
+    kernel, enabled, verify_after = spec
+    pipeline = MerlinPipeline(kernel=kernel, enabled=frozenset(enabled),
+                              verify_after=verify_after)
+    cache = None
+    if cache_dir is not None:
+        from ..cache import CompilationCache
+
+        cache = CompilationCache(directory=cache_dir)
+    module = compile_source(job.source, job.name)
+    func = module.get(job.entry)
+    program, report = pipeline.compile(
+        func, module, prog_type=job.prog_type, mcpu=job.mcpu,
+        ctx_size=job.ctx_size, cache=cache)
+    stats = cache.stats.to_dict() if cache is not None else None
+    return program, report, stats
+
+
+def _optimize_one(spec: tuple, program: BpfProgram
+                  ) -> Tuple[BpfProgram, MerlinReport]:
+    kernel, enabled, verify_after = spec
+    pipeline = MerlinPipeline(kernel=kernel, enabled=frozenset(enabled),
+                              verify_after=verify_after)
+    return pipeline.optimize_program(program)
+
+
+def _merge_worker_stats(cache: Optional["CompilationCache"],
+                        dicts: Sequence[Optional[dict]]
+                        ) -> Optional["CacheStats"]:
+    from ..cache import CacheStats
+
+    merged = CacheStats()
+    seen = False
+    for entry in dicts:
+        if entry is None:
+            continue
+        seen = True
+        merged.hits += entry["hits"]
+        merged.misses += entry["misses"]
+        merged.stores += entry["stores"]
+        merged.evictions += entry["evictions"]
+        merged.memory_hits += entry["memory_hits"]
+        merged.disk_hits += entry["disk_hits"]
+    if not seen:
+        return None
+    if cache is not None:
+        cache.stats.merge(merged)
+    return merged
+
+
+def _snapshot_stats(cache: Optional["CompilationCache"]):
+    if cache is None:
+        return None
+    import dataclasses
+
+    return dataclasses.replace(cache.stats)
+
+
+def _stats_delta(now: "CacheStats", before: "CacheStats") -> "CacheStats":
+    """Counters attributable to one batch run (stats are cumulative)."""
+    from ..cache import CacheStats
+
+    return CacheStats(
+        hits=now.hits - before.hits,
+        misses=now.misses - before.misses,
+        stores=now.stores - before.stores,
+        evictions=now.evictions - before.evictions,
+        memory_hits=now.memory_hits - before.memory_hits,
+        disk_hits=now.disk_hits - before.disk_hits,
+    )
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the machine's cores, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def compile_many(pipeline: MerlinPipeline, batch: Sequence[CompileJob],
+                 jobs: int = 1, cache: Optional["CompilationCache"] = None
+                 ) -> BatchReport:
+    """Compile every job, optionally in parallel and/or cached.
+
+    Results come back in input order regardless of worker scheduling.
+    With ``jobs > 1`` only a *directory-backed* cache is shared between
+    workers (each worker process opens its own handle on the same
+    store); a memory-only cache is used as-is when ``jobs == 1`` and
+    ignored by the worker processes otherwise.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    spec = _pipeline_spec(pipeline)
+    started = time.perf_counter()
+    report = BatchReport(jobs=jobs)
+
+    if jobs == 1:
+        before = _snapshot_stats(cache)
+        report = _compile_sequential(pipeline, batch, cache)
+        report.wall_seconds = time.perf_counter() - started
+        if cache is not None:
+            report.cache_stats = _stats_delta(cache.stats, before)
+        return report
+
+    cache_dir = cache.directory if cache is not None else None
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(
+            _compile_one, [spec] * len(batch), batch,
+            [cache_dir] * len(batch)))
+    for program, rep, _ in results:
+        report.programs.append(program)
+        report.reports.append(rep)
+    report.wall_seconds = time.perf_counter() - started
+    report.cache_stats = _merge_worker_stats(cache,
+                                             [r[2] for r in results])
+    return report
+
+
+def _compile_sequential(pipeline: MerlinPipeline,
+                        batch: Sequence[CompileJob],
+                        cache: Optional["CompilationCache"]) -> BatchReport:
+    from ..frontend import compile_source
+
+    report = BatchReport(jobs=1)
+    for job in batch:
+        module = compile_source(job.source, job.name)
+        func = module.get(job.entry)
+        program, rep = pipeline.compile(
+            func, module, prog_type=job.prog_type, mcpu=job.mcpu,
+            ctx_size=job.ctx_size, cache=cache)
+        report.programs.append(program)
+        report.reports.append(rep)
+    return report
+
+
+def optimize_many(pipeline: MerlinPipeline,
+                  programs: Sequence[BpfProgram],
+                  jobs: int = 1) -> BatchReport:
+    """Bytecode tier only, batched (for assembled/loaded programs)."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    spec = _pipeline_spec(pipeline)
+    started = time.perf_counter()
+    report = BatchReport(jobs=jobs)
+    if jobs == 1:
+        results = [_optimize_one(spec, p) for p in programs]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_optimize_one, [spec] * len(programs),
+                                    programs))
+    for program, rep in results:
+        report.programs.append(program)
+        report.reports.append(rep)
+    report.wall_seconds = time.perf_counter() - started
+    return report

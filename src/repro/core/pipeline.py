@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import CompilationCache
 
 from .. import ir
 from ..codegen import compile_function
@@ -42,6 +45,7 @@ class MerlinReport:
     pass_stats: List[PassStats] = field(default_factory=list)
     verification: Optional[VerificationResult] = None
     compile_seconds: float = 0.0
+    cached: bool = False  # served from a CompilationCache, not recompiled
 
     @property
     def ni_reduction(self) -> float:
@@ -104,8 +108,10 @@ class MerlinPipeline:
         if "slm" in self.enabled:
             passes.append(SuperwordMergePass())
         if "cc" in self.enabled:
-            allow = self.kernel.supports_v3 and mcpu == "v3"
-            passes.append(CodeCompactionPass(allow_alu32=allow))
+            # Gate on the *loading kernel* only: a v2-compiled program may
+            # still gain ALU32 instructions when the kernel accepts them —
+            # the pass then promotes program.mcpu to "v3" (compaction.py).
+            passes.append(CodeCompactionPass(allow_alu32=self.kernel.supports_v3))
         if "po" in self.enabled:
             passes.append(PeepholePass())
         if "cpdce" in self.enabled:
@@ -127,18 +133,41 @@ class MerlinPipeline:
         prog_type: ProgramType = ProgramType.XDP,
         mcpu: str = "v2",
         ctx_size: int = 64,
+        cache: Optional["CompilationCache"] = None,
     ) -> Tuple[BpfProgram, MerlinReport]:
         """Full pipeline: baseline compile for reference, IR refinement,
         re-compile, bytecode refinement, optional verification.
 
-        *func* is mutated by the IR passes (compile the pristine function
-        first if you need the baseline program object too).
+        ``compile`` is pure: the IR passes run on a private clone, so the
+        caller's *func*/*module* are never mutated and a second call
+        yields an identical report.  With *cache*, the result is looked
+        up / stored under the content-addressed key of the canonical IR
+        text plus the full pipeline configuration.
         """
+        key = None
+        if cache is not None:
+            key = cache.key_for_function(
+                func, module, enabled=self.enabled, kernel=self.kernel,
+                prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
+                verify_after=self.verify_after,
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                program, report = hit
+                report.cached = True
+                return program, report
+
         start = time.perf_counter()
         baseline = compile_function(func, module, prog_type=prog_type,
                                     mcpu=mcpu, ctx_size=ctx_size)
-        stats = self.optimize_ir(func, module)
-        program = compile_function(func, module, prog_type=prog_type,
+        # IR passes rewrite in place: run them on a clone so the caller's
+        # function stays pristine.  Cloning goes through the textual IR
+        # (the same lossless round-trip the fuzzer relies on) — a
+        # deepcopy would recurse along arbitrarily long SSA use-def
+        # chains.  The module is never mutated by IR passes.
+        work_func = ir.parse_function(ir.print_function(func))
+        stats = self.optimize_ir(work_func, module)
+        program = compile_function(work_func, module, prog_type=prog_type,
                                    mcpu=mcpu, ctx_size=ctx_size)
         stats += self.optimize_bytecode(program)
         elapsed = time.perf_counter() - start
@@ -152,7 +181,23 @@ class MerlinPipeline:
         )
         if self.verify_after:
             report.verification = verify(program, self.kernel)
+        if cache is not None and key is not None:
+            cache.put(key, program, report)
         return program, report
+
+    def compile_many(self, batch, jobs: int = 1, cache=None):
+        """Batch-compile :class:`repro.core.batch.CompileJob` sources,
+        fanning out over *jobs* worker processes (see
+        :func:`repro.core.batch.compile_many`)."""
+        from .batch import compile_many as _compile_many
+
+        return _compile_many(self, batch, jobs=jobs, cache=cache)
+
+    def optimize_many(self, programs, jobs: int = 1):
+        """Batch bytecode-tier optimization of compiled programs."""
+        from .batch import optimize_many as _optimize_many
+
+        return _optimize_many(self, programs, jobs=jobs)
 
     def optimize_program(self, program: BpfProgram) -> Tuple[BpfProgram, MerlinReport]:
         """Bytecode tier only, for programs without IR (assembled code)."""

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from ..isa import assemble, disassemble
 from ..verifier import DEFAULT_KERNEL, KernelConfig
@@ -103,6 +104,69 @@ def check_roundtrip(program) -> bool:
     return assemble(disassemble(program.insns)) == list(program.insns)
 
 
+def _check_index(index: int, seed: int, layers: Sequence[str],
+                 configs: Sequence[FrozenSet[str]], kernel: KernelConfig,
+                 tests_per_program: int, minimize: bool
+                 ) -> Tuple[str, Optional[FuzzFinding]]:
+    """Generate and triage one campaign index.
+
+    Returns ``(status, finding)`` with status in ``"skipped"`` /
+    ``"ok"`` / ``"roundtrip"``; shared verbatim by the sequential loop
+    and the parallel workers so a campaign's outcome is independent of
+    ``jobs``.
+    """
+    layer = layers[index % len(layers)]
+    # distinct seed stream per layer so adding a layer does not
+    # reshuffle every other layer's programs
+    case = generate(layer, seed * 1_000_003 + index)
+
+    try:
+        baseline = observe_baseline(case, kernel, tests_per_program)
+    except Exception:
+        # generator produced something the toolchain rejects outright
+        # (both sides agree, so nothing differential to learn)
+        return "skipped", None
+
+    status = "ok"
+    if not check_roundtrip(baseline.program):
+        status = "roundtrip"
+
+    divergence: Optional[Divergence] = None
+    for enabled in configs:
+        divergence = check_config(case, enabled, baseline, kernel)
+        if divergence is not None:
+            break
+    if divergence is None:
+        return status, None
+
+    finding = FuzzFinding(divergence)
+    try:
+        finding.bisect = bisect_divergence(divergence, kernel,
+                                           baseline=baseline,
+                                           tests_per_program=tests_per_program)
+    except Exception:
+        pass
+    if minimize:
+        try:
+            finding.minimized = minimize_divergence(
+                divergence, kernel, tests_per_program=tests_per_program)
+        except Exception:
+            pass
+    return status, finding
+
+
+def _campaign_slice(payload: tuple) -> List[Tuple[int, str, Optional[FuzzFinding]]]:
+    """Worker entry point: triage a strided slice of campaign indices."""
+    (seed, start, budget, stride, layers, configs, kernel,
+     tests_per_program, minimize) = payload
+    out = []
+    for index in range(start, budget, stride):
+        status, finding = _check_index(index, seed, layers, configs, kernel,
+                                       tests_per_program, minimize)
+        out.append((index, status, finding))
+    return out
+
+
 def run_campaign(seed: int = 0, budget: int = 200,
                  corpus_dir: Optional[str] = None,
                  layers: Sequence[str] = LAYERS,
@@ -110,58 +174,68 @@ def run_campaign(seed: int = 0, budget: int = 200,
                  kernel: KernelConfig = DEFAULT_KERNEL,
                  tests_per_program: int = 4,
                  minimize: bool = True,
+                 jobs: int = 1,
                  progress=None) -> FuzzReport:
-    """Run one differential-fuzzing campaign of *budget* programs."""
+    """Run one differential-fuzzing campaign of *budget* programs.
+
+    ``jobs > 1`` fans program triage out over worker processes (strided
+    index slices keep per-layer seed streams intact); findings are
+    merged back in index order and reproducers are written by the
+    parent, so the report is identical to a sequential run.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     report = FuzzReport(seed=seed, budget=budget, layers=list(layers))
     started = time.monotonic()
 
-    for index in range(budget):
-        layer = layers[index % len(layers)]
-        # distinct seed stream per layer so adding a layer does not
-        # reshuffle every other layer's programs
-        case = generate(layer, seed * 1_000_003 + index)
-
-        try:
-            baseline = observe_baseline(case, kernel, tests_per_program)
-        except Exception:
-            # generator produced something the toolchain rejects outright
-            # (both sides agree, so nothing differential to learn)
-            report.programs_skipped += 1
-            continue
-        report.programs_run += 1
-
-        if not check_roundtrip(baseline.program):
-            report.roundtrip_failures += 1
-            if progress:
-                progress(f"[{index}] {layer}: asm round-trip failed")
-
-        divergence: Optional[Divergence] = None
-        for enabled in configs:
-            divergence = check_config(case, enabled, baseline, kernel)
-            if divergence is not None:
-                break
-        if divergence is None:
-            continue
-
-        if progress:
-            progress(f"[{index}] {divergence.describe()}")
-        finding = FuzzFinding(divergence)
-        try:
-            finding.bisect = bisect_divergence(divergence, kernel,
-                                               baseline=baseline,
-                                               tests_per_program=tests_per_program)
-        except Exception:
-            pass
-        if minimize:
-            try:
-                finding.minimized = minimize_divergence(
-                    divergence, kernel, tests_per_program=tests_per_program)
-            except Exception:
-                pass
-        if corpus_dir is not None:
-            finding.reproducer_path = write_reproducer(
-                corpus_dir, divergence, finding.minimized, finding.bisect)
-        report.findings.append(finding)
+    if jobs == 1:
+        triaged = (
+            (index, *_check_index(index, seed, layers, configs, kernel,
+                                  tests_per_program, minimize))
+            for index in range(budget)
+        )
+        for index, status, finding in triaged:
+            _merge_outcome(report, index, status, finding, layers, corpus_dir,
+                       progress)
+    else:
+        payloads = [
+            (seed, start, budget, jobs, tuple(layers), tuple(configs),
+             kernel, tests_per_program, minimize)
+            for start in range(min(jobs, max(budget, 1)))
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            slices = list(pool.map(_campaign_slice, payloads))
+        merged = sorted(
+            (item for piece in slices for item in piece),
+            key=lambda item: item[0],
+        )
+        for index, status, finding in merged:
+            _merge_outcome(report, index, status, finding, layers, corpus_dir,
+                       progress)
 
     report.elapsed_seconds = time.monotonic() - started
     return report
+
+
+def _merge_outcome(report: FuzzReport, index: int, status: str,
+               finding: Optional[FuzzFinding], layers: Sequence[str],
+               corpus_dir: Optional[str], progress) -> None:
+    """Fold one triaged index into the campaign report (parent side:
+    counters, progress lines, and reproducer writes)."""
+    if status == "skipped":
+        report.programs_skipped += 1
+        return
+    report.programs_run += 1
+    if status == "roundtrip":
+        report.roundtrip_failures += 1
+        if progress:
+            progress(f"[{index}] {layers[index % len(layers)]}: "
+                     "asm round-trip failed")
+    if finding is None:
+        return
+    if progress:
+        progress(f"[{index}] {finding.divergence.describe()}")
+    if corpus_dir is not None:
+        finding.reproducer_path = write_reproducer(
+            corpus_dir, finding.divergence, finding.minimized, finding.bisect)
+    report.findings.append(finding)

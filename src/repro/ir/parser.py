@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from . import instructions as iri
 from .basicblock import BasicBlock, Function
-from .types import IntType, PointerType, Type, VOID, int_type, pointer
+from .types import ArrayType, IntType, PointerType, Type, VOID, int_type, pointer
 from .values import Argument, Constant, GlobalSymbol, Value
 
 
@@ -31,6 +31,7 @@ class IRParseError(SyntaxError):
 
 
 _TYPE_RE = re.compile(r"^(void|i1|i8|i16|i32|i64)(\**)$")
+_ARRAY_RE = re.compile(r"^\[(\d+)\s*x\s*(.+)\](\**)$")
 _DEFINE_RE = re.compile(
     r"^define\s+(\S+)\s+@([\w.$-]+)\s*\(([^)]*)\)\s*\{$"
 )
@@ -39,6 +40,13 @@ _ASSIGN_RE = re.compile(r"^%([\w.$-]+)\s*=\s*(.*)$")
 
 
 def parse_type(text: str) -> Type:
+    array = _ARRAY_RE.match(text.strip())
+    if array:
+        count, element, stars = array.groups()
+        ty: Type = ArrayType(parse_type(element), int(count))
+        for _ in stars:
+            ty = pointer(ty)
+        return ty
     match = _TYPE_RE.match(text.strip())
     if not match:
         raise ValueError(f"unknown type {text!r}")

@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..frontend import compile_source
 from ..isa import BpfProgram, ProgramType
@@ -295,9 +295,14 @@ def generate_suite(name: str, seed: int = 2024, scale: float = 1.0,
 
 
 def compile_suite_program(program: SuiteProgram, optimize: bool = False,
-                          mcpu: Optional[str] = None,
+                          mcpu: Optional[str] = None, cache=None,
                           **pipeline_kwargs) -> BpfProgram:
-    """Compile one suite program (optionally through Merlin)."""
+    """Compile one suite program (optionally through Merlin).
+
+    *cache* is a :class:`repro.cache.CompilationCache`; repeated suite
+    builds (ablations, overhead sweeps) are then served content-
+    addressed instead of recompiled.
+    """
     module = compile_source(program.source, program.name)
     func = module.get(program.entry)
     suite_mcpu = mcpu if mcpu is not None else "v3"
@@ -307,10 +312,40 @@ def compile_suite_program(program: SuiteProgram, optimize: bool = False,
         pipeline = MerlinPipeline(**pipeline_kwargs)
         compiled, _ = pipeline.compile(
             func, module, prog_type=ProgramType.TRACEPOINT,
-            mcpu=suite_mcpu, ctx_size=TRACE_CTX_SIZE,
+            mcpu=suite_mcpu, ctx_size=TRACE_CTX_SIZE, cache=cache,
         )
         return compiled
     from ..codegen import compile_function
 
     return compile_function(func, module, prog_type=ProgramType.TRACEPOINT,
                             mcpu=suite_mcpu, ctx_size=TRACE_CTX_SIZE)
+
+
+def suite_jobs(programs: Sequence[SuiteProgram],
+               mcpu: Optional[str] = None) -> List["CompileJob"]:
+    """Turn generated suite programs into batch-compiler jobs."""
+    from ..core import CompileJob
+
+    suite_mcpu = mcpu if mcpu is not None else "v3"
+    return [
+        CompileJob(name=p.name, source=p.source, entry=p.entry,
+                   prog_type=ProgramType.TRACEPOINT, mcpu=suite_mcpu,
+                   ctx_size=TRACE_CTX_SIZE)
+        for p in programs
+    ]
+
+
+def compile_suite(programs: Sequence[SuiteProgram], jobs: int = 1,
+                  cache=None, mcpu: Optional[str] = None,
+                  **pipeline_kwargs) -> "BatchReport":
+    """Batch-compile a whole suite through Merlin.
+
+    Fans out over *jobs* worker processes and/or serves repeats from
+    *cache*; returns the :class:`repro.core.BatchReport` whose programs
+    are in suite order.
+    """
+    from ..core import MerlinPipeline
+
+    pipeline = MerlinPipeline(**pipeline_kwargs)
+    return pipeline.compile_many(suite_jobs(programs, mcpu=mcpu),
+                                 jobs=jobs, cache=cache)

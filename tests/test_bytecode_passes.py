@@ -447,6 +447,106 @@ class TestPeephole:
         """)
         assert PeepholePass().run(prog) == 0
 
+    def test_mask_register_reread_blocks_rewrite(self):
+        # r4 observes the mask between the load and the AND: deleting
+        # the ld_imm64 would change what r4 sees, so PO must bail
+        prog = program("""
+            r8 = *(u64 *)(r1 + 0)
+            r3 = 0xf0000000 ll
+            r4 = r3
+            r8 &= r3
+            r8 >>= 28
+            r0 = r8
+            exit
+        """)
+        ctx = (0xDEADBEEF12345678).to_bytes(8, "little") + bytes(56)
+        expected = run_value(prog.copy(), ctx)
+        assert PeepholePass().run(prog) == 0
+        assert run_value(prog, ctx) == expected
+
+    def test_call_in_lookback_window_blocks_rewrite(self):
+        # a helper call between load and AND could clobber the mask
+        # (r1-r5 are caller-saved); the backward walk must stop at it
+        prog = program("""
+            r8 = *(u64 *)(r1 + 0)
+            r3 = 0xf0000000 ll
+            call 7
+            r8 &= r3
+            r8 >>= 28
+            r0 = r8
+            exit
+        """)
+        assert PeepholePass().run(prog) == 0
+
+    def test_branch_in_lookback_window_blocks_rewrite(self):
+        # another path may reach the AND without executing the load, so
+        # any control flow inside the window kills the match
+        prog = program("""
+            r8 = *(u64 *)(r1 + 0)
+            r3 = 0xf0000000 ll
+            if r8 == 0 goto merge
+        merge:
+            r8 &= r3
+            r8 >>= 28
+            r0 = r8
+            exit
+        """)
+        assert PeepholePass().run(prog) == 0
+
+    def test_mask_def_exactly_lookback_back_still_found(self):
+        # the ld_imm64 sits exactly LOOKBACK live instructions before
+        # the AND — the inclusive boundary of the backward walk
+        fillers = ["r4 = 1", "r5 = 2", "r6 = 3", "r4 += 1",
+                   "r5 += 2", "r6 += 3", "r4 -= 1"]
+        assert len(fillers) == PeepholePass.LOOKBACK - 1
+        prog = program("\n".join([
+            "r8 = *(u64 *)(r1 + 0)",
+            "r3 = 0xf0000000 ll",
+            *fillers,
+            "r8 &= r3",
+            "r8 >>= 28",
+            "r0 = r8",
+            "exit",
+        ]))
+        ctx = (0xDEADBEEF12345678).to_bytes(8, "little") + bytes(56)
+        expected = run_value(prog.copy(), ctx)
+        assert PeepholePass().run(prog) == 1
+        text = disassemble(prog.insns)
+        assert "<<= 32" in text and ">>= 60" in text
+        assert run_value(prog, ctx) == expected
+
+    def test_mask_def_beyond_lookback_not_found(self):
+        # one more filler pushes the load out of the window
+        fillers = ["r4 = 1", "r5 = 2", "r6 = 3", "r4 += 1",
+                   "r5 += 2", "r6 += 3", "r4 -= 1", "r5 -= 1"]
+        assert len(fillers) == PeepholePass.LOOKBACK
+        prog = program("\n".join([
+            "r8 = *(u64 *)(r1 + 0)",
+            "r3 = 0xf0000000 ll",
+            *fillers,
+            "r8 &= r3",
+            "r8 >>= 28",
+            "r0 = r8",
+            "exit",
+        ]))
+        assert PeepholePass().run(prog) == 0
+
+    def test_jump_resolving_past_end_is_kept(self):
+        # deleting the jump's target (and everything after it) makes the
+        # resolved target land one past the last instruction; the
+        # redundant-jump scan must neither crash nor delete the jump
+        prog = program("""
+            r0 = 1
+            goto out
+            r0 = 2
+        out:
+            exit
+        """)
+        sym = SymbolicProgram.from_program(prog)
+        sym.delete(3)  # the exit: "goto out" now resolves to end-of-program
+        assert PeepholePass._redundant_jumps(sym) == 0
+        assert not sym.insns[1].deleted
+
 
 class TestPassSafetyOnWorkloads:
     """Every bytecode pass must preserve the observable behaviour of

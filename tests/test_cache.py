@@ -1,0 +1,291 @@
+"""Tests for the content-addressed compilation cache (repro.cache).
+
+The key must cover everything that can change compiled output; the
+store must hand back private copies; disk entries must survive process
+(here: instance) boundaries; and a cached compile must be bit-identical
+to a fresh one.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import compile_bpf, ir
+from repro.cache import (
+    CacheStats,
+    CompilationCache,
+    canonical_text,
+    compose_key,
+    kernel_fingerprint,
+)
+from repro.core import MerlinPipeline
+from repro.isa import ProgramType
+from repro.verifier import KERNELS
+
+SOURCE = """
+u64 f(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u32 b = (u32)a * 5;
+    u64 c = (u64)b;
+    return c + a;
+}
+"""
+
+OTHER_SOURCE = """
+u64 g(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    return a ^ 3;
+}
+"""
+
+
+def build(source=SOURCE, entry="f"):
+    module = compile_bpf(source)
+    return module.get(entry), module
+
+
+def make_key(func, module, **overrides):
+    base = dict(enabled=frozenset({"dao", "cc", "po"}),
+                kernel=KERNELS["6.5"], prog_type=ProgramType.TRACEPOINT,
+                mcpu="v2", ctx_size=64, verify_after=False)
+    base.update(overrides)
+    return CompilationCache().key_for_function(func, module, **base)
+
+
+class TestKeyComposition:
+    def test_same_inputs_same_key(self):
+        func, module = build()
+        assert make_key(func, module) == make_key(func, module)
+
+    def test_identical_text_same_key_across_parses(self):
+        # content-addressed: two separately parsed copies of the same
+        # source share an entry
+        f1, m1 = build()
+        f2, m2 = build()
+        assert make_key(f1, m1) == make_key(f2, m2)
+
+    def test_different_source_different_key(self):
+        f1, m1 = build()
+        f2, m2 = build(OTHER_SOURCE, "g")
+        assert make_key(f1, m1) != make_key(f2, m2)
+
+    @pytest.mark.parametrize("override", [
+        dict(enabled=frozenset({"dao"})),
+        dict(kernel=KERNELS["4.15"]),
+        dict(prog_type=ProgramType.XDP),
+        dict(mcpu="v3"),
+        dict(ctx_size=24),
+        dict(verify_after=True),
+    ], ids=["enabled", "kernel", "prog_type", "mcpu", "ctx_size",
+            "verify_after"])
+    def test_each_config_field_invalidates(self, override):
+        func, module = build()
+        assert make_key(func, module) != make_key(func, module, **override)
+
+    def test_enabled_order_does_not_matter(self):
+        func, module = build()
+        ir_text = canonical_text(func, module)
+        k1 = compose_key(ir_text, ["po", "cc", "dao"], KERNELS["6.5"])
+        k2 = compose_key(ir_text, ["dao", "po", "cc"], KERNELS["6.5"])
+        assert k1 == k2
+
+    def test_canonical_text_records_entry_point(self):
+        func, module = build()
+        assert f"entry @{func.name}" in canonical_text(func, module)
+        # without a module only the function's own IR is rendered
+        assert canonical_text(func) == ir.print_function(func)
+
+    def test_kernel_fingerprint_covers_every_field(self):
+        fp = kernel_fingerprint(KERNELS["6.5"])
+        for f in dataclasses.fields(KERNELS["6.5"]):
+            assert f"{f.name}=" in fp
+
+    def test_key_is_hex_sha256(self):
+        func, module = build()
+        key = make_key(func, module)
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_schema_version_feeds_the_key(self):
+        func, module = build()
+        ir_text = canonical_text(func, module)
+        k1 = compose_key(ir_text, [], KERNELS["6.5"])
+        import repro.cache.keys as keys_mod
+
+        old = keys_mod.SCHEMA_VERSION
+        try:
+            keys_mod.SCHEMA_VERSION = old + 1
+            k2 = compose_key(ir_text, [], KERNELS["6.5"])
+        finally:
+            keys_mod.SCHEMA_VERSION = old
+        assert k1 != k2
+
+
+def compile_with(cache, source=SOURCE, entry="f"):
+    func, module = build(source, entry)
+    pipeline = MerlinPipeline()
+    return pipeline.compile(func, module, prog_type=ProgramType.TRACEPOINT,
+                            ctx_size=64, cache=cache)
+
+
+class TestStore:
+    def test_memory_hit(self):
+        cache = CompilationCache()
+        prog1, rep1 = compile_with(cache)
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        prog2, rep2 = compile_with(cache)
+        assert cache.stats.hits == 1 and cache.stats.memory_hits == 1
+        assert prog2.insns == prog1.insns
+        assert rep1.cached is False
+        assert rep2.cached is True
+
+    def test_cached_bytecode_identical_to_fresh(self):
+        cache = CompilationCache()
+        cached_prog, _ = compile_with(cache)
+        cached_prog, _ = compile_with(cache)  # second run: from cache
+        fresh_prog, _ = compile_with(None)
+        assert cached_prog.insns == fresh_prog.insns
+        assert cached_prog.mcpu == fresh_prog.mcpu
+
+    def test_get_returns_private_copy(self):
+        cache = CompilationCache()
+        compile_with(cache)
+        prog_a, _ = compile_with(cache)
+        prog_a.insns.clear()  # caller mutates its copy...
+        prog_b, _ = compile_with(cache)
+        assert prog_b.insns  # ...without corrupting the store
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        first = CompilationCache(directory=str(tmp_path))
+        compile_with(first)
+        assert first.stats.stores == 1
+        # a brand-new instance (think: another worker process) hits disk
+        second = CompilationCache(directory=str(tmp_path))
+        prog, rep = compile_with(second)
+        assert second.stats.disk_hits == 1
+        assert rep.cached is True
+
+    def test_disk_layout_is_sharded(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        compile_with(cache)
+        pkls = list(tmp_path.glob("*/*.pkl"))
+        assert len(pkls) == 1
+        assert pkls[0].parent.name == pkls[0].stem[:2]
+
+    def test_eviction_counter_and_disk_recovery(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path),
+                                 max_memory_entries=1)
+        compile_with(cache)
+        compile_with(cache, OTHER_SOURCE, "g")  # evicts the first entry
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+        # the evicted entry is still served — from disk
+        _, rep = compile_with(cache)
+        assert rep.cached is True
+        assert cache.stats.disk_hits == 1
+
+    def test_memory_only_eviction_recompiles(self):
+        cache = CompilationCache(max_memory_entries=1)
+        compile_with(cache)
+        compile_with(cache, OTHER_SOURCE, "g")
+        _, rep = compile_with(cache)  # no disk layer to fall back on
+        assert rep.cached is False
+        assert cache.stats.misses == 3
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        func, module = build()
+        key = make_key(func, module)
+        assert key not in cache
+        _, rep = compile_with(cache)
+        assert len(cache) == 1
+        stored_key = next(iter(cache._memory))
+        assert stored_key in cache
+        cache.clear_memory()
+        assert len(cache) == 0
+        assert stored_key in cache  # disk copy survives clear_memory
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CompilationCache(max_memory_entries=0)
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        compile_with(cache)
+        pkl = next(tmp_path.glob("*/*.pkl"))
+        pkl.write_bytes(b"not a pickle")
+        fresh = CompilationCache(directory=str(tmp_path))
+        _, rep = compile_with(fresh)  # falls back to compiling
+        assert rep.cached is False
+        assert fresh.stats.misses == 1
+
+
+@pytest.mark.fuzz
+class TestCachedEqualsFresh:
+    """Property: for generated programs, a cache-served compile is
+    byte-identical to a fresh one (insns, mcpu, and report NI)."""
+
+    PROGRAMS = 200
+
+    def test_cached_and_fresh_bytecode_identical(self):
+        from repro.fuzz.generator import generate
+        from repro.ir.parser import parse_function
+
+        cache = CompilationCache()
+        checked = 0
+        seed = 0
+        while checked < self.PROGRAMS:
+            layer = ("source", "ir")[seed % 2]
+            case = generate(layer, 90_000 + seed)
+            seed += 1
+            try:
+                if case.layer == "source":
+                    from repro.frontend import compile_source
+
+                    module = compile_source(case.text)
+                    func = module.get(case.name)
+                else:
+                    module = None
+                    func = parse_function(case.text)
+                pipeline = MerlinPipeline()
+                fresh, fresh_rep = pipeline.compile(
+                    func, module, prog_type=case.prog_type, mcpu=case.mcpu,
+                    ctx_size=case.ctx_size)
+                # first cached compile stores, second must hit
+                pipeline.compile(func, module, prog_type=case.prog_type,
+                                 mcpu=case.mcpu, ctx_size=case.ctx_size,
+                                 cache=cache)
+                cached, cached_rep = pipeline.compile(
+                    func, module, prog_type=case.prog_type, mcpu=case.mcpu,
+                    ctx_size=case.ctx_size, cache=cache)
+            except Exception:
+                continue  # generator output the toolchain rejects
+            assert cached_rep.cached, f"{layer} seed {case.seed}: no hit"
+            assert cached.insns == fresh.insns, \
+                f"{layer} seed {case.seed}: cached bytecode differs"
+            assert cached.mcpu == fresh.mcpu
+            assert cached_rep.ni_optimized == fresh_rep.ni_optimized
+            checked += 1
+        assert cache.stats.hits >= self.PROGRAMS
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(hits=1, misses=2, stores=3, evictions=1,
+                       memory_hits=1, disk_hits=0)
+        b = CacheStats(hits=4, misses=1, stores=1, evictions=0,
+                       memory_hits=2, disk_hits=2)
+        a.merge(b)
+        assert (a.hits, a.misses, a.stores, a.evictions,
+                a.memory_hits, a.disk_hits) == (5, 3, 4, 1, 3, 2)
+
+    def test_to_dict_round(self):
+        d = CacheStats(hits=1, misses=2).to_dict()
+        assert d["hits"] == 1 and d["misses"] == 2
+        assert d["hit_rate"] == round(1 / 3, 4)

@@ -151,17 +151,39 @@ u64 f(u8* ctx) {
         assert opt_cycles <= base_cycles
 
 
+# Multiplying into a u32 marks the value "dirty", so widening it back
+# to u64 forces isel to emit the shl-32/shr-32 zero-extension pair that
+# Code Compaction rewrites into a single ALU32 mov — at mcpu=v2 this is
+# the only CC opportunity, which is exactly what the old
+# `mcpu == "v3"` gate silently skipped.
+CC_TRIGGER = """
+u64 f(u8* ctx) {
+    u32 a = *(u32*)(ctx + 0);
+    u32 b = a * 3;
+    u64 c = (u64)b;
+    return c + 1;
+}
+"""
+
+
+def _cc_rewrites(report):
+    return sum(s.rewrites for s in report.pass_stats if s.name == "cc")
+
+
 class TestKernelGating:
-    def test_cc_disabled_for_v2_program(self):
-        # a v2 program must not gain ALU32 instructions
-        module = compile_bpf(SOURCE)
+    def test_cc_fires_on_v2_program_under_v3_kernel(self):
+        # Opt 5 is gated on the *loading kernel*, not the program's
+        # starting mcpu: a v2 program on a v3-capable kernel gets its
+        # zero-extension pairs compacted and is promoted to v3.
+        module = compile_bpf(CC_TRIGGER)
         pipeline = MerlinPipeline(kernel=KERNELS["6.5"])
-        program, _ = pipeline.compile(module.get("entrypoint"), module,
-                                      mcpu="v2", ctx_size=24)
-        assert not any(
-            i.is_alu32 for i in program.insns
-        )
-        assert program.mcpu == "v2"
+        program, report = pipeline.compile(
+            module.get("f"), module, prog_type=ProgramType.TRACEPOINT,
+            mcpu="v2", ctx_size=64)
+        assert _cc_rewrites(report) > 0
+        assert any(i.is_alu32 for i in program.insns)
+        assert program.mcpu == "v3"
+        assert verify(program, KERNELS["6.5"]).ok
 
     def test_cc_enabled_for_v3_program(self):
         module = compile_bpf(SOURCE)
@@ -176,3 +198,56 @@ class TestKernelGating:
         program, _ = pipeline.compile(module.get("entrypoint"), module,
                                       mcpu="v3", ctx_size=24)
         assert verify(program, KERNELS["4.15"]).ok
+
+    def test_cc_stays_off_under_pre_v3_kernel(self):
+        # same v2 program, but a 4.15 loading kernel lacks ALU32
+        # support: CC must not fire and the program must stay v2
+        module = compile_bpf(CC_TRIGGER)
+        pipeline = MerlinPipeline(kernel=KERNELS["4.15"])
+        program, report = pipeline.compile(
+            module.get("f"), module, prog_type=ProgramType.TRACEPOINT,
+            mcpu="v2", ctx_size=64)
+        assert _cc_rewrites(report) == 0
+        assert not any(i.is_alu32 for i in program.insns)
+        assert program.mcpu == "v2"
+        assert verify(program, KERNELS["4.15"]).ok
+
+    def test_v2_and_v3_entry_points_agree_under_v3_kernel(self):
+        # with the gate fixed, the compacted v2 program behaves
+        # identically to its uncompacted self
+        module = compile_bpf(CC_TRIGGER)
+        baseline = compile_baseline(compile_bpf(CC_TRIGGER), "f",
+                                    prog_type=ProgramType.TRACEPOINT,
+                                    ctx_size=64)
+        pipeline = MerlinPipeline(kernel=KERNELS["6.5"])
+        optimized, _ = pipeline.compile(
+            module.get("f"), module, prog_type=ProgramType.TRACEPOINT,
+            mcpu="v2", ctx_size=64)
+        for fill in (0, 1, 0x5A, 0xFF):
+            ctx = bytes([fill]) * 64
+            assert (Machine(baseline).run(ctx=ctx).return_value
+                    == Machine(optimized).run(ctx=ctx).return_value)
+
+
+class TestCompileIdempotence:
+    def test_compile_does_not_mutate_caller_function(self):
+        from repro import ir
+
+        module = compile_bpf(SOURCE)
+        func = module.get("entrypoint")
+        before = ir.print_function(func)
+        pipeline = MerlinPipeline()
+        pipeline.compile(func, module, ctx_size=24)
+        assert ir.print_function(func) == before
+
+    def test_compile_twice_identical_reports(self):
+        module = compile_bpf(SOURCE)
+        func = module.get("entrypoint")
+        pipeline = MerlinPipeline()
+        prog1, rep1 = pipeline.compile(func, module, ctx_size=24)
+        prog2, rep2 = pipeline.compile(func, module, ctx_size=24)
+        assert prog1.insns == prog2.insns
+        assert rep1.ni_original == rep2.ni_original
+        assert rep1.ni_optimized == rep2.ni_optimized
+        assert ([(s.name, s.tier, s.rewrites) for s in rep1.pass_stats]
+                == [(s.name, s.tier, s.rewrites) for s in rep2.pass_stats])
