@@ -20,6 +20,7 @@ from .keys import (
     canonical_text,
     compose_key,
     kernel_fingerprint,
+    key_for_bytecode,
     key_for_function,
 )
 from .store import CacheStats, CompilationCache
@@ -29,6 +30,7 @@ __all__ = [
     "canonical_text",
     "compose_key",
     "kernel_fingerprint",
+    "key_for_bytecode",
     "key_for_function",
     "CacheStats",
     "CompilationCache",

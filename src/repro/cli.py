@@ -8,6 +8,7 @@ Subcommands mirror the real eBPF workflow:
 * ``optimize`` — show Merlin's per-pass report for a source file
 * ``fuzz``     — differential-fuzz the optimizer against the baseline
 * ``bench``    — batch-compile a Table-1 suite (parallel, cached)
+* ``bench-vm`` — microbenchmark the VM execution engines
 """
 
 from __future__ import annotations
@@ -134,6 +135,7 @@ def cmd_fuzz(args) -> int:
         tests_per_program=args.tests,
         minimize=not args.no_minimize,
         jobs=args.jobs,
+        engines=not args.no_engines,
         progress=progress,
     )
     if args.json:
@@ -208,6 +210,41 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_bench_vm(args) -> int:
+    from .eval.vmperf import VM_SUITES, bench_vm
+
+    suites = [s.strip() for s in args.suite.split(",")]
+    for suite in suites:
+        if suite not in VM_SUITES:
+            print(f"unknown suite {suite!r} (choose from "
+                  f"{', '.join(VM_SUITES)})", file=sys.stderr)
+            return 2
+
+    report = bench_vm(suites, seed=args.seed, scale=args.scale,
+                      count=args.count, tests_per_program=args.tests,
+                      repeats=args.repeats)
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(report.to_json())
+    else:
+        for suite in report.suites:
+            ref = suite.engines["reference"]
+            fast = suite.engines["fast"]
+            verdict = "identical" if suite.identical else \
+                f"MISMATCH ({suite.mismatch})"
+            print(f"{suite.suite}: {suite.programs} programs, "
+                  f"{ref.runs} runs/engine — {verdict}")
+            print(f"  reference: {ref.insns_per_second / 1e3:8.0f} kinsns/s "
+                  f"({ref.instructions} insns in {ref.wall_seconds:.3f}s)")
+            print(f"  fast:      {fast.insns_per_second / 1e3:8.0f} kinsns/s "
+                  f"({fast.instructions} insns in {fast.wall_seconds:.3f}s)")
+            print(f"  speedup:   {suite.speedup:.2f}x")
+        if args.out:
+            print(f"wrote {args.out}")
+    return 0 if report.all_identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -249,6 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip delta-debugging minimization of findings")
     f.add_argument("--jobs", type=int, default=1,
                    help="worker processes for program triage (default: 1)")
+    f.add_argument("--no-engines", action="store_true",
+                   help="skip the reference-vs-fast VM engine axis")
     f.set_defaults(handler=cmd_fuzz)
 
     b = sub.add_parser("bench", help="batch-compile a suite through Merlin")
@@ -269,6 +308,26 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json", action="store_true",
                    help="emit machine-readable results")
     b.set_defaults(handler=cmd_bench)
+
+    v = sub.add_parser("bench-vm",
+                       help="microbenchmark the VM execution engines")
+    v.add_argument("--suite", default="sysdig,xdp",
+                   help="comma-separated suites "
+                        "(sysdig,tetragon,tracee,xdp)")
+    v.add_argument("--seed", type=int, default=2024)
+    v.add_argument("--scale", type=float, default=0.2,
+                   help="trace-suite size scale (default: 0.2)")
+    v.add_argument("--count", type=int, default=None,
+                   help="programs per suite (default: profile-derived)")
+    v.add_argument("--tests", type=int, default=6,
+                   help="inputs per program (default: 6)")
+    v.add_argument("--repeats", type=int, default=8,
+                   help="battery repetitions per program (default: 8)")
+    v.add_argument("--out", default="BENCH_vm.json",
+                   help="result file (default: BENCH_vm.json; '' skips)")
+    v.add_argument("--json", action="store_true",
+                   help="emit machine-readable results")
+    v.set_defaults(handler=cmd_bench_vm)
     return parser
 
 

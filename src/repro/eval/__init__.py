@@ -36,6 +36,14 @@ from .overhead import (
     run_postmark,
 )
 from .report import pct, render_series, render_table
+from .vmperf import (
+    EngineMeasurement,
+    SuitePerf,
+    VM_SUITES,
+    VmBenchReport,
+    bench_suite,
+    bench_vm,
+)
 from .verifier_stats import (
     VerifierComparison,
     compare_verifier_cost,
@@ -73,6 +81,12 @@ __all__ = [
     "pct",
     "render_series",
     "render_table",
+    "EngineMeasurement",
+    "SuitePerf",
+    "VM_SUITES",
+    "VmBenchReport",
+    "bench_suite",
+    "bench_vm",
     "VerifierComparison",
     "compare_verifier_cost",
     "state_change_across_kernels",

@@ -1,0 +1,237 @@
+"""VM microbenchmark: interpreted-instructions-per-second per engine.
+
+Measures the two execution engines (``reference`` — the canonical
+if/elif interpreter — and ``fast`` — the pre-decoded fast-dispatch
+engine with superinstructions, :mod:`repro.vm.engine`) over the
+paper's workload suites, and cross-checks them while doing so: every
+run's return value and full counter tuple must agree, so a benchmark
+result doubles as an engine-equivalence certificate.
+
+Timing covers the steady-state ``Machine.run`` loop only.  Decode/bind
+cost is excluded deliberately — the decode is content-cached process-
+wide (:func:`repro.vm.engine.decode_program`), so in every consumer
+(fuzz batteries, benchmark loops, repeated attach) it amortizes to
+noise; what the metric answers is "how fast does each engine interpret
+instructions once a program is loaded".
+
+``repro bench-vm`` drives this and emits ``BENCH_vm.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fuzz.oracle import RUNTIME_FAULTS, TestCase, generate_tests
+from ..isa import BpfProgram
+from ..vm import ENGINES, Machine
+
+#: suites ``bench_vm`` understands: the three trace suites plus the
+#: curated XDP workload set
+VM_SUITES = ("sysdig", "tetragon", "tracee", "xdp")
+
+
+def _suite_programs(suite: str, seed: int, scale: float,
+                    count: Optional[int]) -> List[BpfProgram]:
+    """Compile the benchmark programs for *suite* (baseline pipeline,
+    no Merlin passes — the engines are what is under test).  Generated
+    trace programs that exceed toolchain limits at this seed are
+    skipped, like every other suite consumer does."""
+    if suite == "xdp":
+        from ..workloads.xdp import ALL_XDP, compile_workload
+
+        programs = [compile_workload(workload) for workload in ALL_XDP]
+        if count is not None:
+            programs = programs[:count]
+        return programs
+    from ..workloads.suites import compile_suite_program, generate_suite
+
+    programs: List[BpfProgram] = []
+    for generated in generate_suite(suite, seed=seed, scale=scale,
+                                    count=count):
+        try:
+            programs.append(compile_suite_program(generated))
+        except Exception:
+            continue
+    return programs
+
+
+@dataclass
+class EngineMeasurement:
+    """One engine's aggregate over a suite."""
+
+    engine: str
+    instructions: int = 0
+    wall_seconds: float = 0.0
+    runs: int = 0
+    faults: int = 0
+
+    @property
+    def insns_per_second(self) -> float:
+        return self.instructions / self.wall_seconds if self.wall_seconds \
+            else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "instructions": self.instructions,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "runs": self.runs,
+            "faults": self.faults,
+            "insns_per_second": round(self.insns_per_second, 1),
+        }
+
+
+@dataclass
+class SuitePerf:
+    """Both engines measured over one suite, with the equivalence
+    verdict collected along the way."""
+
+    suite: str
+    programs: int
+    engines: Dict[str, EngineMeasurement]
+    identical: bool
+    mismatch: str = ""
+
+    @property
+    def speedup(self) -> float:
+        ref = self.engines["reference"].insns_per_second
+        fast = self.engines["fast"].insns_per_second
+        return fast / ref if ref else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "programs": self.programs,
+            "identical": self.identical,
+            "mismatch": self.mismatch,
+            "speedup": round(self.speedup, 3),
+            "engines": {name: m.to_dict() for name, m in self.engines.items()},
+        }
+
+
+@dataclass
+class VmBenchReport:
+    """Everything ``repro bench-vm`` measured, JSON-serializable."""
+
+    seed: int
+    repeats: int
+    tests_per_program: int
+    suites: List[SuitePerf] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(suite.identical for suite in self.suites)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "tests_per_program": self.tests_per_program,
+            "all_identical": self.all_identical,
+            "suites": [suite.to_dict() for suite in self.suites],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def _run_engine(programs: Sequence[BpfProgram],
+                batteries: Sequence[List[TestCase]],
+                engine: str, seed: int, repeats: int,
+                max_insns: int, passes: int = 3
+                ) -> Tuple[EngineMeasurement, List[Tuple]]:
+    """Time one engine over every (program, battery) pair and record the
+    per-run observation trace for cross-engine comparison.
+
+    The first battery pass is untimed: it warms allocator/model caches
+    and records the observation trace.  The timed loop then runs
+    ``passes`` times and the fastest pass is kept (the ``timeit``
+    min-of-N convention), which suppresses scheduler noise on shared
+    machines.
+    """
+    measurement = EngineMeasurement(engine=engine)
+    trace: List[Tuple] = []
+    for program, tests in zip(programs, batteries):
+        machine = Machine(program, max_insns=max_insns, seed=seed,
+                          engine=engine)
+        for test in tests:
+            try:
+                result = machine.run(ctx=test.ctx, packet=test.packet)
+            except RUNTIME_FAULTS as exc:
+                measurement.faults += 1
+                trace.append(("fault", type(exc).__name__, str(exc),
+                              dataclasses.astuple(machine.counters)))
+            else:
+                trace.append(("ok", result.return_value,
+                              dataclasses.astuple(result.counters)))
+        best: Optional[Tuple[float, int]] = None
+        for _ in range(max(passes, 1)):
+            insns_before = machine.counters.instructions
+            started = time.perf_counter()
+            for _ in range(repeats):
+                for test in tests:
+                    try:
+                        machine.run(ctx=test.ctx, packet=test.packet)
+                    except RUNTIME_FAULTS:
+                        pass
+            elapsed = time.perf_counter() - started
+            executed = machine.counters.instructions - insns_before
+            if best is None or elapsed < best[0]:
+                best = (elapsed, executed)
+        measurement.wall_seconds += best[0]
+        measurement.instructions += best[1]
+        measurement.runs += repeats * len(tests)
+    return measurement, trace
+
+
+def bench_suite(suite: str, seed: int = 2024, scale: float = 0.2,
+                count: Optional[int] = None, tests_per_program: int = 6,
+                repeats: int = 8, max_insns: int = 200_000) -> SuitePerf:
+    """Measure every engine over one suite with identical inputs."""
+    programs = _suite_programs(suite, seed, scale, count)
+    batteries = [
+        generate_tests(program, count=tests_per_program, seed=seed + index)
+        for index, program in enumerate(programs)
+    ]
+    engines: Dict[str, EngineMeasurement] = {}
+    traces: Dict[str, List[Tuple]] = {}
+    for engine in ENGINES:
+        engines[engine], traces[engine] = _run_engine(
+            programs, batteries, engine, seed, repeats, max_insns)
+    identical = traces["reference"] == traces["fast"]
+    mismatch = ""
+    if not identical:
+        for index, (ref, fast) in enumerate(
+                zip(traces["reference"], traces["fast"])):
+            if ref != fast:
+                mismatch = (f"run {index}: reference={ref!r} fast={fast!r}")
+                break
+    return SuitePerf(suite=suite, programs=len(programs), engines=engines,
+                     identical=identical, mismatch=mismatch)
+
+
+def bench_vm(suites: Sequence[str] = ("sysdig", "xdp"), seed: int = 2024,
+             scale: float = 0.2, count: Optional[int] = None,
+             tests_per_program: int = 6, repeats: int = 8,
+             max_insns: int = 200_000) -> VmBenchReport:
+    """The whole ``repro bench-vm`` measurement."""
+    report = VmBenchReport(seed=seed, repeats=repeats,
+                           tests_per_program=tests_per_program)
+    for suite in suites:
+        if suite not in VM_SUITES:
+            raise ValueError(
+                f"unknown VM suite {suite!r} (choose from "
+                f"{', '.join(VM_SUITES)})")
+        report.suites.append(
+            bench_suite(suite, seed=seed, scale=scale, count=count,
+                        tests_per_program=tests_per_program,
+                        repeats=repeats, max_insns=max_insns))
+    return report

@@ -21,6 +21,7 @@ from .differential import (
     Divergence,
     build_program,
     check_config,
+    check_engines,
     diff_case,
     observe_baseline,
     pass_sequence,
@@ -73,6 +74,7 @@ __all__ = [
     "bisect_divergence",
     "build_program",
     "check_config",
+    "check_engines",
     "check_roundtrip",
     "count_statements",
     "ddmin",

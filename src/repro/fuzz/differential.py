@@ -178,13 +178,56 @@ def check_config(case: GeneratedProgram, enabled: FrozenSet[str],
     return None
 
 
+#: pseudo-config name the engine axis reports divergences under
+ENGINE_CONFIG = ("engine=fast",)
+
+
+def check_engines(case: GeneratedProgram, baseline: BaselineRecord,
+                  kernel: KernelConfig = DEFAULT_KERNEL,
+                  ) -> Optional[Divergence]:
+    """Engine-vs-engine axis: run the baseline program on the reference
+    interpreter and the pre-decoded fast engine and require *bit-exact*
+    agreement — return value, fault behaviour, map/memory state, and
+    (unlike pass configs, where they legitimately differ) every perf
+    counter.  A mismatch is a bug in :mod:`repro.vm.engine`, not in an
+    optimizer, so callers skip pass bisection for these findings."""
+    program = baseline.program
+    reference = observe_battery(program, baseline.tests,
+                                seed=baseline.oracle_seed,
+                                include_counters=True)
+    fast = observe_battery(program, baseline.tests,
+                           seed=baseline.oracle_seed,
+                           engine="fast", include_counters=True)
+    hit = first_divergence(reference, fast)
+    if hit is None:
+        return None
+    index, kind = hit
+    ref, opt = reference[index], fast[index]
+    if kind == "fault":
+        detail = f"reference fault={ref.fault} fast fault={opt.fault}"
+    elif kind == "return":
+        detail = (f"reference r0={ref.return_value:#x} "
+                  f"fast r0={opt.return_value:#x}")
+    elif kind == "counters":
+        detail = (f"reference counters={ref.counters} "
+                  f"fast counters={opt.counters}")
+    else:
+        detail = "map/memory/output state differs between engines"
+    return Divergence(case, ENGINE_CONFIG, kind, index, detail)
+
+
 def diff_case(case: GeneratedProgram,
               configs: Sequence[FrozenSet[str]] = PASS_CONFIGS,
               kernel: KernelConfig = DEFAULT_KERNEL,
               tests_per_program: int = 4,
-              oracle_seed: int = 7) -> Optional[Divergence]:
+              oracle_seed: int = 7,
+              engines: bool = True) -> Optional[Divergence]:
     """Run *case* under every config; first divergence wins."""
     baseline = observe_baseline(case, kernel, tests_per_program, oracle_seed)
+    if engines:
+        divergence = check_engines(case, baseline, kernel)
+        if divergence is not None:
+            return divergence
     for enabled in configs:
         divergence = check_config(case, enabled, baseline, kernel)
         if divergence is not None:

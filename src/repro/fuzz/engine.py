@@ -25,6 +25,7 @@ from .differential import (
     PASS_CONFIGS,
     Divergence,
     check_config,
+    check_engines,
     observe_baseline,
 )
 from .generator import LAYERS, GeneratedProgram, generate
@@ -106,7 +107,8 @@ def check_roundtrip(program) -> bool:
 
 def _check_index(index: int, seed: int, layers: Sequence[str],
                  configs: Sequence[FrozenSet[str]], kernel: KernelConfig,
-                 tests_per_program: int, minimize: bool
+                 tests_per_program: int, minimize: bool,
+                 engines: bool = True
                  ) -> Tuple[str, Optional[FuzzFinding]]:
     """Generate and triage one campaign index.
 
@@ -130,6 +132,15 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
     status = "ok"
     if not check_roundtrip(baseline.program):
         status = "roundtrip"
+
+    if engines:
+        # engine-vs-engine axis: the fast VM engine must match the
+        # reference interpreter bit-for-bit (counters included).  A hit
+        # here is a VM bug, not an optimizer bug — pass bisection and
+        # program minimization against pass pipelines don't apply.
+        engine_divergence = check_engines(case, baseline, kernel)
+        if engine_divergence is not None:
+            return status, FuzzFinding(engine_divergence)
 
     divergence: Optional[Divergence] = None
     for enabled in configs:
@@ -158,11 +169,11 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
 def _campaign_slice(payload: tuple) -> List[Tuple[int, str, Optional[FuzzFinding]]]:
     """Worker entry point: triage a strided slice of campaign indices."""
     (seed, start, budget, stride, layers, configs, kernel,
-     tests_per_program, minimize) = payload
+     tests_per_program, minimize, engines) = payload
     out = []
     for index in range(start, budget, stride):
         status, finding = _check_index(index, seed, layers, configs, kernel,
-                                       tests_per_program, minimize)
+                                       tests_per_program, minimize, engines)
         out.append((index, status, finding))
     return out
 
@@ -175,6 +186,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
                  tests_per_program: int = 4,
                  minimize: bool = True,
                  jobs: int = 1,
+                 engines: bool = True,
                  progress=None) -> FuzzReport:
     """Run one differential-fuzzing campaign of *budget* programs.
 
@@ -182,6 +194,10 @@ def run_campaign(seed: int = 0, budget: int = 200,
     index slices keep per-layer seed streams intact); findings are
     merged back in index order and reproducers are written by the
     parent, so the report is identical to a sequential run.
+
+    ``engines`` additionally runs every baseline program on both VM
+    execution engines (reference and fast) and requires bit-identical
+    observations, counters included.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -191,7 +207,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
     if jobs == 1:
         triaged = (
             (index, *_check_index(index, seed, layers, configs, kernel,
-                                  tests_per_program, minimize))
+                                  tests_per_program, minimize, engines))
             for index in range(budget)
         )
         for index, status, finding in triaged:
@@ -200,7 +216,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
     else:
         payloads = [
             (seed, start, budget, jobs, tuple(layers), tuple(configs),
-             kernel, tests_per_program, minimize)
+             kernel, tests_per_program, minimize, engines)
             for start in range(min(jobs, max(budget, 1)))
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -112,6 +112,11 @@ class Observation:
     return_value: Optional[int] = None
     state: Optional[Tuple] = None
     fault: Optional[str] = None
+    #: perf counter values as a flat tuple; captured only when the caller
+    #: asks (the engine-vs-engine axis, where counters must be
+    #: bit-identical).  Pass-config comparisons leave this None — an
+    #: optimized program legitimately executes different instructions.
+    counters: Optional[Tuple] = None
 
     def differs_from(self, other: "Observation") -> Optional[str]:
         """Name of the first differing observable, or None if equal."""
@@ -121,6 +126,9 @@ class Observation:
             return "return"
         if self.state != other.state:
             return "state"
+        if (self.counters is not None and other.counters is not None
+                and self.counters != other.counters):
+            return "counters"
         return None
 
 
@@ -128,18 +136,33 @@ class Observation:
 Seeder = Callable[[Machine], None]
 
 
+def _counter_tuple(machine: Machine) -> Tuple:
+    import dataclasses
+
+    return dataclasses.astuple(machine.counters)
+
+
 def run_observed(program: BpfProgram, test: TestCase,
                  seeder: Optional[Seeder] = None,
-                 max_insns: int = 200_000) -> Observation:
+                 max_insns: int = 200_000,
+                 engine: str = "reference",
+                 include_counters: bool = False) -> Observation:
     """Run *program* on one input; faults become part of the record."""
-    machine = Machine(program, max_insns=max_insns)
+    machine = Machine(program, max_insns=max_insns, engine=engine)
     try:
         if seeder is not None:
             seeder(machine)
         result = machine.run(ctx=test.ctx, packet=test.packet)
     except RUNTIME_FAULTS as exc:
-        return Observation(fault=type(exc).__name__)
-    return Observation(result.return_value, observable_state(machine))
+        return Observation(
+            fault=type(exc).__name__,
+            counters=_counter_tuple(machine) if include_counters else None,
+        )
+    return Observation(
+        result.return_value,
+        observable_state(machine),
+        counters=_counter_tuple(machine) if include_counters else None,
+    )
 
 
 def populate_maps(machine: Machine, coverage: float = 1.0,
@@ -165,6 +188,8 @@ def populate_maps(machine: Machine, coverage: float = 1.0,
 def observe_battery(program: BpfProgram, tests: Sequence[TestCase],
                     seed: int = 7, max_insns: int = 200_000,
                     populate: Callable[[Machine, float, int], None] = populate_maps,
+                    engine: str = "reference",
+                    include_counters: bool = False,
                     ) -> List[Observation]:
     """Observations for the whole battery, cycling map coverage."""
     observations: List[Observation] = []
@@ -176,7 +201,9 @@ def observe_battery(program: BpfProgram, tests: Sequence[TestCase],
             if coverage:
                 populate(machine, coverage, seed + index)
 
-        observations.append(run_observed(program, test, seeder, max_insns))
+        observations.append(run_observed(program, test, seeder, max_insns,
+                                         engine=engine,
+                                         include_counters=include_counters))
     return observations
 
 

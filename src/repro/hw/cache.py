@@ -62,13 +62,35 @@ class CacheModel:
         return False
 
     def access(self, addr: int, size: int) -> int:
-        """Model an access; returns its latency in cycles."""
-        first_line = addr // self.line_bytes
-        last_line = (addr + max(size, 1) - 1) // self.line_bytes
+        """Model an access; returns its latency in cycles.
+
+        Equivalent to calling :meth:`_touch_line` per covered line, but
+        inlined — this is the hottest call in the VM's execute loop —
+        with one behavioural no-op shortcut: a tag that is already
+        most-recently-used skips the remove/append reshuffle (removing
+        and re-appending the last element is the identity).
+        """
+        line = addr // self.line_bytes
+        last_line = (addr + size - 1) // self.line_bytes if size > 1 else line
+        stats = self.stats
+        num_sets = self.num_sets
+        sets = self.sets
         latency = self.hit_latency
-        for line in range(first_line, last_line + 1):
-            self.stats.references += 1
-            if not self._touch_line(line):
-                self.stats.misses += 1
+        while True:
+            stats.references += 1
+            entries = sets[line % num_sets]
+            tag = line // num_sets
+            if entries and entries[-1] == tag:
+                pass  # already MRU
+            elif tag in entries:
+                entries.remove(tag)
+                entries.append(tag)
+            else:
+                stats.misses += 1
                 latency += self.miss_penalty
-        return latency
+                entries.append(tag)
+                if len(entries) > self.ways:
+                    entries.pop(0)
+            if line == last_line:
+                return latency
+            line += 1

@@ -48,28 +48,29 @@ class PerfCounters:
             return 0.0
         return self.instructions / self.cycles
 
+    # positional construction: these two run on every Machine.run call
     def snapshot(self) -> "PerfCounters":
         return PerfCounters(
-            instructions=self.instructions,
-            cycles=self.cycles,
-            cache_references=self.cache_references,
-            cache_misses=self.cache_misses,
-            branches=self.branches,
-            branch_misses=self.branch_misses,
-            context_switches=self.context_switches,
-            helper_calls=self.helper_calls,
-            atomics=self.atomics,
+            self.instructions,
+            self.cycles,
+            self.cache_references,
+            self.cache_misses,
+            self.branches,
+            self.branch_misses,
+            self.context_switches,
+            self.helper_calls,
+            self.atomics,
         )
 
     def delta(self, since: "PerfCounters") -> "PerfCounters":
         return PerfCounters(
-            instructions=self.instructions - since.instructions,
-            cycles=self.cycles - since.cycles,
-            cache_references=self.cache_references - since.cache_references,
-            cache_misses=self.cache_misses - since.cache_misses,
-            branches=self.branches - since.branches,
-            branch_misses=self.branch_misses - since.branch_misses,
-            context_switches=self.context_switches - since.context_switches,
-            helper_calls=self.helper_calls - since.helper_calls,
-            atomics=self.atomics - since.atomics,
+            self.instructions - since.instructions,
+            self.cycles - since.cycles,
+            self.cache_references - since.cache_references,
+            self.cache_misses - since.cache_misses,
+            self.branches - since.branches,
+            self.branch_misses - since.branch_misses,
+            self.context_switches - since.context_switches,
+            self.helper_calls - since.helper_calls,
+            self.atomics - since.atomics,
         )

@@ -1,0 +1,36 @@
+"""repro.vm.engine — pre-decoded fast-dispatch execution engine.
+
+Selected with ``Machine(program, engine="fast")``.  The program is
+decoded once into a flat array of specialized handler closures (cached
+process-wide by bytecode content key), straight-line runs are fused
+into compiled superinstructions, and the dispatch loop becomes
+``pc = handlers[pc](regs)``.  Results are bit-identical to the
+reference interpreter — same return values, counters, fault messages,
+and memory/map effects.
+"""
+
+from .decode import (
+    DECODE_CACHE_CAPACITY,
+    DecodedProgram,
+    DecodeCacheStats,
+    FastExecution,
+    bind_machine,
+    clear_decode_cache,
+    decode_cache_stats,
+    decode_program,
+)
+from .superblock import MIN_BLOCK_LEN, SuperBlock, find_blocks
+
+__all__ = [
+    "DECODE_CACHE_CAPACITY",
+    "DecodedProgram",
+    "DecodeCacheStats",
+    "FastExecution",
+    "MIN_BLOCK_LEN",
+    "SuperBlock",
+    "bind_machine",
+    "clear_decode_cache",
+    "decode_cache_stats",
+    "decode_program",
+    "find_blocks",
+]

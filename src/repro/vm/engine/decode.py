@@ -1,0 +1,692 @@
+"""Pre-decoded fast-dispatch execution engine.
+
+The reference interpreter re-classifies every instruction on every
+visit: mask the opcode, walk an if/elif ladder, look up the cost table,
+re-resolve the operand kind.  This module does all of that **once per
+program**: each slot is decoded into a specialized handler closure
+``h(regs) -> next_pc`` with its base cycle cost, operand kind
+(immediate vs. register), width mask, resolved jump targets, and helper
+cost baked in as captured constants.  The dispatch loop is then just::
+
+    while True:
+        pc = handlers[pc](regs)
+
+Decoding is split into two phases so the expensive part is shared:
+
+* :func:`decode_program` produces a machine-independent
+  :class:`DecodedProgram` — binder factories plus compiled superblocks —
+  cached in a small LRU keyed by :func:`repro.cache.key_for_bytecode`
+  (the program's content identity, so every Machine over the same
+  bytecode shares one decode);
+* :func:`bind_machine` binds those factories to a concrete
+  :class:`~repro.vm.interpreter.Machine` (its counters, cache model,
+  branch predictor, memory and helper runtime), which is cheap.
+
+Semantics are bit-identical to the reference engine by construction:
+every handler replicates the reference code path's exact operation
+order, fault messages, and counter updates (see tests/test_engine.py
+and the fuzz engine-vs-engine axis).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...cache.keys import key_for_bytecode
+from ...isa import BpfProgram, Instruction
+from ...isa import opcodes as op
+from ...isa.helpers import HELPER_NAMES
+from .. import cost
+from ..interpreter import VmFault
+from ..memory import MemoryFault
+from .superblock import SuperBlock, _alu_source, bswap_value, find_blocks
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+_BUDGET_MSG = "instruction budget exhausted (infinite loop?)"
+
+_PACKERS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
+
+#: a binder takes (machine, budget_cell) and returns a bound handler
+Binder = Callable[[object, List[int]], Callable[[List[int]], int]]
+
+
+class _Exit(Exception):
+    """Internal control-flow signal: the program executed BPF_EXIT."""
+
+
+# ----------------------------------------------------------------- targets
+def _target(t: int, n: int) -> Tuple[Optional[int], Optional[str]]:
+    """Resolve a jump target at decode time.
+
+    ``t == n`` (one past the end) is a *valid* handler index — the
+    sentinel slot raises the same out-of-bounds fault the reference
+    engine produces, and only if control actually falls there.
+    Anything outside ``[0, n]`` can never be dispatched, so the fault
+    is raised by the jump handler itself (after branch bookkeeping,
+    matching the reference order of events).
+    """
+    if 0 <= t <= n:
+        return t, None
+    return None, f"pc {t} out of program bounds"
+
+
+# ------------------------------------------------------------ fault binders
+def _raise_binder(msg: str) -> Binder:
+    """Slot that faults on dispatch without counting anything — used for
+    the one-past-the-end sentinel and ld_imm64 second slots, where the
+    reference engine faults before touching budget or counters."""
+
+    def binder(machine, budget):
+        def h(regs):
+            raise VmFault(msg)
+
+        return h
+
+    return binder
+
+
+def _alu_keyerror_binder(aop: int) -> Binder:
+    """Reference behavior for an ALU opcode missing from the cost table:
+    ``cost.base_cost`` raises ``KeyError`` *after* the instruction was
+    counted.  Unreachable from the assembler; replicated for fidelity."""
+
+    def binder(machine, budget):
+        cnt = machine.counters
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            raise KeyError(aop)
+
+        return h
+
+    return binder
+
+
+# -------------------------------------------------------------- ALU binders
+def _alu_binder(insn: Instruction, nxt: int) -> Binder:
+    aop = insn.opcode & op.ALU_OP_MASK
+    if aop not in cost.ALU_COST:
+        return _alu_keyerror_binder(aop)
+    c = cost.ALU_COST[aop]
+    stmts = _alu_source(insn, lambda r: f"regs[{r}]")
+    body = "\n".join("        " + s for s in stmts)
+    source = (
+        "def _binder(machine, budget):\n"
+        "    cnt = machine.counters\n"
+        "    def h(regs):\n"
+        "        budget[0] -= 1\n"
+        "        if budget[0] < 0:\n"
+        "            raise VmFault(_BUDGET_MSG)\n"
+        "        cnt.instructions += 1\n"
+        f"        cnt.cycles += {c}\n"
+        f"{body}\n"
+        f"        return {nxt}\n"
+        "    return h\n"
+    )
+    namespace = {
+        "VmFault": VmFault,
+        "_BUDGET_MSG": _BUDGET_MSG,
+        "_bswap": bswap_value,
+    }
+    exec(compile(source, f"<alu@{nxt - 1}>", "exec"), namespace)
+    return namespace["_binder"]
+
+
+# ----------------------------------------------------------- memory binders
+def _ldx_binder(insn: Instruction, nxt: int) -> Binder:
+    size = insn.size_bytes
+    unpack = _PACKERS[size].unpack_from
+    dst, src, off = insn.dst, insn.src, insn.off
+
+    def binder(machine, budget):
+        cnt = machine.counters
+        access = machine.cache.access
+        memory = machine.memory
+        find = memory.find
+        # (region, memory.version) memo: regions are disjoint, so if the
+        # cached region still contains the address at the same version it
+        # is exactly what find() would return.  Bounds are re-checked
+        # against the live len() so in-place resizes stay correct.
+        memo = [None, -1]
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1  # base cost of a load is 0
+            addr = (regs[src] + off) & _U64
+            cnt.cycles += access(addr, size)
+            region = memo[0]
+            if (region is None or memo[1] != memory.version
+                    or addr < region.base
+                    or addr + size > region.base + len(region.data)):
+                try:
+                    region = find(addr, size)
+                except MemoryFault as exc:
+                    raise VmFault(str(exc)) from None
+                memo[0] = region
+                memo[1] = memory.version
+            regs[dst] = unpack(region.data, addr - region.base)[0]
+            return nxt
+
+        return h
+
+    return binder
+
+
+def _store_binder(insn: Instruction, nxt: int) -> Binder:
+    size = insn.size_bytes
+    pack = _PACKERS[size].pack_into
+    szmask = (1 << (size * 8)) - 1
+    dst, off = insn.dst, insn.off
+    imm_value = (insn.imm & _U64) & szmask if insn.is_store_imm else None
+    src = insn.src
+
+    def binder(machine, budget):
+        cnt = machine.counters
+        access = machine.cache.access
+        memory = machine.memory
+        find = memory.find
+        memo = [None, -1]  # see _ldx_binder
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += cost.STORE_BASE_COST
+            addr = (regs[dst] + off) & _U64
+            cnt.cycles += access(addr, size)
+            region = memo[0]
+            if (region is None or memo[1] != memory.version
+                    or addr < region.base
+                    or addr + size > region.base + len(region.data)):
+                try:
+                    region = find(addr, size)
+                except MemoryFault as exc:
+                    raise VmFault(str(exc)) from None
+                memo[0] = region
+                memo[1] = memory.version
+            value = imm_value if imm_value is not None else regs[src] & szmask
+            pack(region.data, addr - region.base, value)
+            return nxt
+
+        return h
+
+    return binder
+
+
+def _atomic_binder(insn: Instruction, nxt: int) -> Binder:
+    size = insn.size_bytes
+    st = _PACKERS[size]
+    unpack, pack = st.unpack_from, st.pack_into
+    szmask = (1 << (size * 8)) - 1
+    dst, src, off, imm = insn.dst, insn.src, insn.off, insn.imm
+    aop = imm & ~op.BPF_FETCH
+    if aop == op.BPF_ATOMIC_ADD:
+        op_fn = lambda old, operand: old + operand
+    elif aop == op.BPF_ATOMIC_AND:
+        op_fn = lambda old, operand: old & operand
+    elif aop == op.BPF_ATOMIC_OR:
+        op_fn = lambda old, operand: old | operand
+    elif aop == op.BPF_ATOMIC_XOR:
+        op_fn = lambda old, operand: old ^ operand
+    elif imm == op.BPF_XCHG:
+        op_fn = lambda old, operand: operand
+    else:
+        op_fn = None  # unsupported (e.g. CMPXCHG): fault after the load
+    fetch = bool(imm & op.BPF_FETCH)
+
+    def binder(machine, budget):
+        cnt = machine.counters
+        access = machine.cache.access
+        memory = machine.memory
+        find = memory.find
+        memo = [None, -1]  # see _ldx_binder
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += cost.ATOMIC_BASE_COST
+            cnt.atomics += 1
+            addr = (regs[dst] + off) & _U64
+            cnt.cycles += access(addr, size)
+            region = memo[0]
+            if (region is None or memo[1] != memory.version
+                    or addr < region.base
+                    or addr + size > region.base + len(region.data)):
+                try:
+                    region = find(addr, size)
+                except MemoryFault as exc:
+                    raise VmFault(str(exc)) from None
+                memo[0] = region
+                memo[1] = memory.version
+            offset = addr - region.base
+            old = unpack(region.data, offset)[0]
+            if op_fn is None:
+                raise VmFault(f"unsupported atomic {imm:#x}")
+            operand = regs[src] & szmask
+            pack(region.data, offset, op_fn(old, operand) & szmask)
+            if fetch:
+                regs[src] = old
+            return nxt
+
+        return h
+
+    return binder
+
+
+def _ld_imm64_binder(insn: Instruction, nxt: int) -> Binder:
+    dst = insn.dst
+    value = insn.imm & _U64
+
+    def binder(machine, budget):
+        cnt = machine.counters
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += cost.LD_IMM64_COST
+            regs[dst] = value
+            return nxt
+
+        return h
+
+    return binder
+
+
+def _bad_ld_binder(insn: Instruction) -> Binder:
+    """Non-imm64 BPF_LD modes (ABS/IND): counted, zero base cost, then
+    the reference's 'unsupported LD mode' fault."""
+    msg = f"unsupported LD mode {insn.opcode:#x}"
+
+    def binder(machine, budget):
+        cnt = machine.counters
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            raise VmFault(msg)
+
+        return h
+
+    return binder
+
+
+# ------------------------------------------------------------- jump binders
+def _make_condition(insn: Instruction, is32: bool):
+    """A decode-time-specialized predicate regs -> bool, replicating the
+    reference ``_condition`` (including the unknown-op fault)."""
+    mask = _U32 if is32 else _U64
+    bits = 32 if is32 else 64
+    sign = 1 << (bits - 1)
+    wrap = 1 << bits
+    dst, src = insn.dst, insn.src
+    jop = insn.opcode & op.JMP_OP_MASK
+    uses_imm = insn.uses_imm
+    k = insn.imm & mask if uses_imm else None
+
+    if jop in (op.BPF_JEQ, op.BPF_JNE, op.BPF_JGT, op.BPF_JGE,
+               op.BPF_JLT, op.BPF_JLE, op.BPF_JSET):
+        import operator as _operator
+
+        cmp = {
+            op.BPF_JEQ: _operator.eq,
+            op.BPF_JNE: _operator.ne,
+            op.BPF_JGT: _operator.gt,
+            op.BPF_JGE: _operator.ge,
+            op.BPF_JLT: _operator.lt,
+            op.BPF_JLE: _operator.le,
+            op.BPF_JSET: lambda a, b: bool(a & b),
+        }[jop]
+        if uses_imm:
+            def cond(regs, cmp=cmp, k=k):
+                return cmp(regs[dst] & mask, k)
+        else:
+            def cond(regs, cmp=cmp):
+                return cmp(regs[dst] & mask, regs[src] & mask)
+        return cond
+
+    if jop in (op.BPF_JSGT, op.BPF_JSGE, op.BPF_JSLT, op.BPF_JSLE):
+        import operator as _operator
+
+        cmp = {
+            op.BPF_JSGT: _operator.gt,
+            op.BPF_JSGE: _operator.ge,
+            op.BPF_JSLT: _operator.lt,
+            op.BPF_JSLE: _operator.le,
+        }[jop]
+        if uses_imm:
+            ks = k - wrap if k & sign else k
+
+            def cond(regs, cmp=cmp, ks=ks):
+                lhs = regs[dst] & mask
+                if lhs & sign:
+                    lhs -= wrap
+                return cmp(lhs, ks)
+        else:
+            def cond(regs, cmp=cmp):
+                lhs = regs[dst] & mask
+                if lhs & sign:
+                    lhs -= wrap
+                rhs = regs[src] & mask
+                if rhs & sign:
+                    rhs -= wrap
+                return cmp(lhs, rhs)
+        return cond
+
+    msg = f"unknown jump op {jop:#x}"
+
+    def cond(regs):
+        raise VmFault(msg)
+
+    return cond
+
+
+def _ja_binder(insn: Instruction, pc: int, n: int) -> Binder:
+    tv, tmsg = _target(pc + 1 + insn.off, n)
+
+    def binder(machine, budget):
+        cnt = machine.counters
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += cost.JUMP_COST
+            cnt.branches += 1
+            if tv is None:
+                raise VmFault(tmsg)
+            return tv
+
+        return h
+
+    return binder
+
+
+def _jmp_binder(insn: Instruction, pc: int, n: int, is32: bool) -> Binder:
+    cond = _make_condition(insn, is32)
+    tv, tmsg = _target(pc + 1 + insn.off, n)
+    fall = pc + 1  # always <= n, so always a dispatchable handler index
+
+    def binder(machine, budget):
+        cnt = machine.counters
+        record = machine.branch.record
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += cost.JUMP_COST
+            taken = cond(regs)
+            cnt.branches += 1
+            cnt.cycles += record(pc, taken)
+            if taken:
+                if tv is None:
+                    raise VmFault(tmsg)
+                return tv
+            return fall
+
+        return h
+
+    return binder
+
+
+def _call_binder(insn: Instruction, nxt: int) -> Binder:
+    helper_id = insn.imm
+    name = HELPER_NAMES.get(helper_id, "")
+    charge = cost.JUMP_COST + cost.HELPER_COST.get(name, cost.DEFAULT_HELPER_COST)
+
+    def binder(machine, budget):
+        cnt = machine.counters
+        call = machine.helpers.call
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.helper_calls += 1
+            cnt.cycles += charge
+            regs[op.R0] = call(helper_id, regs[1:6])
+            return nxt
+
+        return h
+
+    return binder
+
+
+def _exit_binder(insn: Instruction) -> Binder:
+    c = cost.base_cost(insn)  # EXIT_COST for JMP, JUMP_COST for JMP32
+
+    def binder(machine, budget):
+        cnt = machine.counters
+
+        def h(regs):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise VmFault(_BUDGET_MSG)
+            cnt.instructions += 1
+            cnt.cycles += c
+            raise _Exit
+
+        return h
+
+    return binder
+
+
+# ------------------------------------------------------------------ decode
+@dataclass
+class DecodedProgram:
+    """Machine-independent decode of one program: per-slot binder
+    factories (index ``n`` is the out-of-bounds sentinel) plus compiled
+    superblocks."""
+
+    binders: List[Binder]
+    blocks: List[SuperBlock]
+    n_slots: int
+    key: str
+
+
+def _decode_slots(slots: Sequence[Optional[Instruction]]) -> List[Binder]:
+    n = len(slots)
+    binders: List[Binder] = [None] * (n + 1)  # type: ignore[list-item]
+    pc = 0
+    while pc < n:
+        insn = slots[pc]
+        if insn is None:  # second slot of ld_imm64
+            binders[pc] = _raise_binder(
+                f"jump into the middle of ld_imm64 at slot {pc}"
+            )
+            pc += 1
+            continue
+        nxt = pc + insn.slots
+        step = 1  # visit the ld_imm64 second slot so it gets its binder
+        cls = insn.opcode & op.CLASS_MASK
+        if cls in (op.BPF_ALU64, op.BPF_ALU):
+            binders[pc] = _alu_binder(insn, nxt)
+        elif cls == op.BPF_LDX:
+            binders[pc] = _ldx_binder(insn, nxt)
+        elif cls in (op.BPF_ST, op.BPF_STX):
+            if insn.is_atomic:
+                binders[pc] = _atomic_binder(insn, nxt)
+            else:
+                binders[pc] = _store_binder(insn, nxt)
+        elif cls == op.BPF_LD:
+            if insn.is_ld_imm64:
+                binders[pc] = _ld_imm64_binder(insn, nxt)
+            else:
+                binders[pc] = _bad_ld_binder(insn)
+        else:  # BPF_JMP / BPF_JMP32
+            jop = insn.opcode & op.JMP_OP_MASK
+            if jop == op.BPF_EXIT:
+                binders[pc] = _exit_binder(insn)
+            elif jop == op.BPF_CALL:
+                binders[pc] = _call_binder(insn, nxt)
+            elif jop == op.BPF_JA:
+                binders[pc] = _ja_binder(insn, pc, n)
+            else:
+                binders[pc] = _jmp_binder(insn, pc, n, cls == op.BPF_JMP32)
+        pc += step
+    binders[n] = _raise_binder(f"pc {n} out of program bounds")
+    return binders
+
+
+# ------------------------------------------------------------ decode cache
+@dataclass
+class DecodeCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+DECODE_CACHE_CAPACITY = 256
+
+_decode_cache: "OrderedDict[str, DecodedProgram]" = OrderedDict()
+_decode_stats = DecodeCacheStats()
+
+
+def decode_cache_stats() -> DecodeCacheStats:
+    """A snapshot of the process-wide decode cache statistics."""
+    return DecodeCacheStats(_decode_stats.hits, _decode_stats.misses)
+
+
+def clear_decode_cache() -> None:
+    _decode_cache.clear()
+    _decode_stats.hits = 0
+    _decode_stats.misses = 0
+
+
+def decode_program(program: BpfProgram) -> DecodedProgram:
+    """Decode *program* (or fetch the shared decode for its content key)."""
+    key = key_for_bytecode(program)
+    cached = _decode_cache.get(key)
+    if cached is not None:
+        _decode_stats.hits += 1
+        _decode_cache.move_to_end(key)
+        return cached
+    _decode_stats.misses += 1
+    slots: List[Optional[Instruction]] = []
+    for insn in program.insns:
+        slots.append(insn)
+        if insn.slots == 2:
+            slots.append(None)
+    decoded = DecodedProgram(
+        binders=_decode_slots(slots),
+        blocks=find_blocks(slots),
+        n_slots=len(slots),
+        key=key,
+    )
+    _decode_cache[key] = decoded
+    while len(_decode_cache) > DECODE_CACHE_CAPACITY:
+        _decode_cache.popitem(last=False)
+    return decoded
+
+
+# -------------------------------------------------------------------- bind
+def _bind_block(block: SuperBlock, machine, budget, singles):
+    fn = block.fn
+    k = block.count
+    base_sum = block.base_cycles
+    nxt = block.next_pc
+    start = block.start
+    cnt = machine.counters
+    memory = machine.memory
+    find = memory.find
+    access = machine.cache.access
+    # per-memop-site region memo consumed by the generated code (see
+    # superblock._compile_block); cleared whenever the region table
+    # changes so a stale Region can never satisfy the inline check
+    n_memops = block.n_memops
+    memo = [None] * n_memops
+    empty = [None] * n_memops
+    ver = [-1]
+
+    def h(regs):
+        if budget[0] < k:
+            # not enough budget for the whole run: replay per-instruction
+            # so the fault lands on the exact slot the reference faults at
+            pc = start
+            for _ in range(k):
+                pc = singles[pc](regs)
+            return pc
+        version = memory.version
+        if version != ver[0]:
+            ver[0] = version
+            memo[:] = empty
+        try:
+            fn(regs, find, access, cnt, memo)
+        except MemoryFault:
+            # phase 1 is side-effect free, so nothing happened yet; the
+            # per-instruction replay performs the prefix for real and
+            # raises the reference VmFault at the faulting instruction
+            pc = start
+            for _ in range(k):
+                pc = singles[pc](regs)
+            return pc
+        budget[0] -= k
+        cnt.instructions += k
+        cnt.cycles += base_sum
+        return nxt
+
+    return h
+
+
+class FastExecution:
+    """A :class:`DecodedProgram` bound to one Machine's models."""
+
+    __slots__ = ("decoded", "handlers", "singles", "_budget", "_max_insns")
+
+    def __init__(self, decoded: DecodedProgram, machine) -> None:
+        budget = [0]
+        singles = [binder(machine, budget) for binder in decoded.binders]
+        handlers = list(singles)
+        for block in decoded.blocks:
+            handlers[block.start] = _bind_block(block, machine, budget, singles)
+        self.decoded = decoded
+        self.handlers = handlers
+        self.singles = singles
+        self._budget = budget
+        self._max_insns = machine.max_insns
+
+    def execute(self, regs: List[int]) -> int:
+        budget = self._budget
+        budget[0] = self._max_insns
+        handlers = self.handlers
+        pc = 0
+        try:
+            while True:
+                pc = handlers[pc](regs)
+        except _Exit:
+            return regs[op.R0]
+
+
+def bind_machine(machine) -> FastExecution:
+    """Decode (or reuse the cached decode of) ``machine.program`` and
+    bind it to the machine's counters, cache, predictor and memory."""
+    return FastExecution(decode_program(machine.program), machine)

@@ -1,0 +1,356 @@
+"""Basic-block superinstructions: straight-line runs compiled to one
+generated-Python function.
+
+A *superblock* is a maximal run of consecutive ALU / MOV / load / store
+instructions (no jumps, calls, atomics or ``ld_imm64``).  The run is
+translated — once, at decode time — into a single Python function via
+``compile()``, so the dispatch loop pays one handler call for the whole
+run instead of one per instruction, and the per-slot budget/counter
+bookkeeping collapses into precomputed constants.
+
+Bit-identical semantics are preserved by a two-phase layout:
+
+* **phase 1 (validate)** computes every memory-op address — re-running
+  only the *address slice* of the block's ALU on private locals — and
+  resolves each address to its region with ``Memory.find``.  Phase 1
+  performs **no side effects**: if any address is unmapped, the raised
+  :class:`MemoryFault` leaves registers, memory, cache state and
+  counters untouched, and the caller falls back to a per-instruction
+  replay of the block so the fault surfaces at exactly the instruction,
+  with exactly the counters and partial effects, the reference
+  interpreter would produce.
+* **phase 2 (commit)** executes the block for real, in program order:
+  ALU on locals, each memory op charging ``cache.access`` against the
+  pre-resolved region.  Nothing in phase 2 can fault.
+
+A memory op whose base register depends on a load *inside* the block
+("runtime-tainted" base) ends the block before it — its address cannot
+be validated up front — and the offending instruction may start a new
+block of its own, where every register is entry-computable again.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...isa import Instruction
+from ...isa import opcodes as op
+from .. import cost
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+#: minimum run length worth fusing (a 1-instruction "block" would just
+#: add indirection over the plain pre-decoded handler)
+MIN_BLOCK_LEN = 2
+
+_PACKERS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
+
+
+def bswap_value(value: int, width: int, to_be: bool) -> int:
+    """The reference interpreter's ``_bswap``, parameterised."""
+    data = (value & ((1 << width) - 1)).to_bytes(width // 8, "little")
+    return int.from_bytes(data, "big" if to_be else "little")
+
+
+#: shared globals for every compiled superblock function
+_SB_GLOBALS: Dict[str, object] = {"_bswap": bswap_value}
+for _size, _st in _PACKERS.items():
+    _SB_GLOBALS[f"_pk{_size}"] = _st.pack_into
+    _SB_GLOBALS[f"_up{_size}"] = _st.unpack_from
+
+
+@dataclass
+class SuperBlock:
+    """One fused straight-line run."""
+
+    start: int  # slot index of the first instruction
+    count: int  # logical instructions covered (all single-slot)
+    base_cycles: int  # precomputed sum of per-instruction base costs
+    next_pc: int  # fall-through slot after the run
+    fn: Callable  # fn(regs, find, access, counters, memo) -> None
+    source: str  # generated Python (kept for tests/debugging)
+    n_memops: int  # memory operations in the run (= len(memo) at bind)
+
+
+# ---------------------------------------------------------------- classify
+def _is_alu(insn: Instruction) -> bool:
+    return (insn.opcode & op.CLASS_MASK) in (op.BPF_ALU, op.BPF_ALU64)
+
+
+def _is_load(insn: Instruction) -> bool:
+    return (insn.opcode & op.CLASS_MASK) == op.BPF_LDX
+
+
+def _is_store(insn: Instruction) -> bool:
+    cls = insn.opcode & op.CLASS_MASK
+    if cls == op.BPF_ST:
+        return True
+    return cls == op.BPF_STX and (insn.opcode & op.MODE_MASK) != op.BPF_ATOMIC
+
+
+def _is_memop(insn: Instruction) -> bool:
+    return _is_load(insn) or _is_store(insn)
+
+
+def _base_reg(insn: Instruction) -> int:
+    return insn.src if _is_load(insn) else insn.dst
+
+
+def _fusable(insn: Instruction) -> bool:
+    """Can *insn* live inside a superblock at all?"""
+    if _is_alu(insn):
+        aop = insn.opcode & op.ALU_OP_MASK
+        if aop not in cost.ALU_COST:
+            return False  # reference raises; keep it on the slow path
+        if aop == op.BPF_END and insn.imm not in (16, 32, 64):
+            return False
+        return True
+    if _is_memop(insn):
+        return insn.size_bytes in _PACKERS
+    return False
+
+
+def _alu_reads(insn: Instruction) -> Tuple[int, ...]:
+    """Registers an ALU instruction reads (value semantics)."""
+    aop = insn.opcode & op.ALU_OP_MASK
+    if aop == op.BPF_MOV:
+        return () if insn.uses_imm else (insn.src,)
+    if aop in (op.BPF_NEG, op.BPF_END):
+        return (insn.dst,)
+    if insn.uses_imm:
+        return (insn.dst,)
+    return (insn.dst, insn.src)
+
+
+# ---------------------------------------------------------------- discovery
+def find_blocks(slots: Sequence[Optional[Instruction]],
+                min_len: int = MIN_BLOCK_LEN) -> List[SuperBlock]:
+    """Discover and compile every superblock of an expanded slot list."""
+    blocks: List[SuperBlock] = []
+    n = len(slots)
+    i = 0
+    while i < n:
+        insn = slots[i]
+        if insn is None:
+            i += 1
+            continue
+        if not _fusable(insn):
+            i += insn.slots
+            continue
+        start = i
+        tainted = [False] * op.NUM_REGS
+        members: List[Instruction] = []
+        j = i
+        while j < n:
+            cand = slots[j]
+            if cand is None or not _fusable(cand):
+                break
+            if _is_memop(cand) and tainted[_base_reg(cand)]:
+                break  # base not entry-computable; cand may start a new block
+            if _is_alu(cand):
+                aop = cand.opcode & op.ALU_OP_MASK
+                if aop == op.BPF_MOV:
+                    tainted[cand.dst] = (not cand.uses_imm) and tainted[cand.src]
+                elif not cand.uses_imm and aop not in (op.BPF_NEG, op.BPF_END):
+                    tainted[cand.dst] = tainted[cand.dst] or tainted[cand.src]
+            elif _is_load(cand):
+                tainted[cand.dst] = True
+            members.append(cand)
+            j += 1
+        if len(members) >= min_len:
+            blocks.append(_compile_block(start, members))
+            i = j
+        else:
+            i = start + 1
+    return blocks
+
+
+# ------------------------------------------------------------------ codegen
+def _alu_source(insn: Instruction, name: Callable[[int], str]) -> List[str]:
+    """Source statements replicating the reference ``_alu`` for *insn*,
+    reading/writing the locals produced by *name*."""
+    is32 = (insn.opcode & op.CLASS_MASK) == op.BPF_ALU
+    aop = insn.opcode & op.ALU_OP_MASK
+    mask = _U32 if is32 else _U64
+    bits = 32 if is32 else 64
+    wrap = 1 << bits
+    d = name(insn.dst)
+    value = f"({d} & {_U32:#x})" if is32 else d
+    if insn.uses_imm:
+        k: Optional[int] = insn.imm & mask
+        operand = f"{k:#x}"
+    else:
+        k = None
+        s = name(insn.src)
+        operand = f"({s} & {_U32:#x})" if is32 else s
+
+    if aop == op.BPF_MOV:
+        return [f"{d} = {operand}"]
+    if aop == op.BPF_ADD:
+        return [f"{d} = ({value} + {operand}) & {mask:#x}"]
+    if aop == op.BPF_SUB:
+        return [f"{d} = ({value} - {operand}) & {mask:#x}"]
+    if aop == op.BPF_MUL:
+        return [f"{d} = ({value} * {operand}) & {mask:#x}"]
+    if aop == op.BPF_OR:
+        return [f"{d} = {value} | {operand}"]
+    if aop == op.BPF_AND:
+        return [f"{d} = {value} & {operand}"]
+    if aop == op.BPF_XOR:
+        return [f"{d} = {value} ^ {operand}"]
+    if aop == op.BPF_DIV:
+        if k is not None:
+            return [f"{d} = {value} // {k:#x}" if k else f"{d} = 0"]
+        return [f"_t = {operand}", f"{d} = {value} // _t if _t else 0"]
+    if aop == op.BPF_MOD:
+        if k is not None:
+            return [f"{d} = {value} % {k:#x}" if k else f"{d} = {value}"]
+        return [f"_t = {operand}", f"{d} = {value} % _t if _t else {value}"]
+    if aop in (op.BPF_LSH, op.BPF_RSH, op.BPF_ARSH):
+        if k is not None:
+            shift = f"{k % bits}"
+        else:
+            shift = f"({operand} % {bits})"
+        if aop == op.BPF_LSH:
+            return [f"{d} = ({value} << {shift}) & {mask:#x}"]
+        if aop == op.BPF_RSH:
+            return [f"{d} = {value} >> {shift}"]
+        return [
+            f"_t = {value}",
+            f"{d} = (((_t - {wrap:#x}) >> {shift}) & {mask:#x}) "
+            f"if _t >> {bits - 1} else (_t >> {shift})",
+        ]
+    if aop == op.BPF_NEG:
+        return [f"{d} = -{value} & {mask:#x}"]
+    if aop == op.BPF_END:
+        to_be = (insn.opcode & op.SRC_MASK) == op.BPF_X
+        return [f"{d} = _bswap({value}, {insn.imm}, {to_be}) & {mask:#x}"]
+    raise AssertionError(f"unfusable ALU op {aop:#x}")  # pragma: no cover
+
+
+def _address_slice(members: Sequence[Instruction]
+                   ) -> Tuple[List[bool], Set[int]]:
+    """Backward slice of the ALU instructions feeding memory-op base
+    registers; returns (per-instruction needed flags, entry registers)."""
+    needed = [False] * len(members)
+    want: Set[int] = set()
+    for j in range(len(members) - 1, -1, -1):
+        insn = members[j]
+        if _is_alu(insn) and insn.dst in want:
+            needed[j] = True
+            want.discard(insn.dst)
+            want.update(_alu_reads(insn))
+        if _is_memop(insn):
+            base = _base_reg(insn)
+            if _is_load(insn) and insn.dst in want:
+                raise AssertionError(
+                    "load-tainted base leaked into a superblock")
+            want.add(base)
+    return needed, want
+
+
+def _addr_expr(local: str, off: int) -> str:
+    if off == 0:
+        return local
+    return f"({local} + {off}) & {_U64:#x}"
+
+
+def _compile_block(start: int, members: List[Instruction]) -> SuperBlock:
+    needed, p_entry = _address_slice(members)
+    p_name = lambda r: f"_p{r}"
+    r_name = lambda r: f"_r{r}"
+
+    body: List[str] = []
+    # ---- phase 1: address slice + validation (side-effect free)
+    for r in sorted(p_entry):
+        body.append(f"_p{r} = regs[{r}]")
+    memop_index: Dict[int, int] = {}
+    mem_count = 0
+    for j, insn in enumerate(members):
+        if needed[j]:
+            body.extend(_alu_source(insn, p_name))
+        if _is_memop(insn):
+            memop_index[j] = mem_count
+            size = insn.size_bytes
+            body.append(
+                f"_a{mem_count} = "
+                f"{_addr_expr(p_name(_base_reg(insn)), insn.off)}"
+            )
+            # per-site region memo: each memop site almost always hits
+            # the same region every execution, so re-validate the cached
+            # region against its live bounds and only fall back to
+            # find() on first use or after the region changes (the
+            # binder clears ``memo`` whenever memory.version moves)
+            m = mem_count
+            body.append(f"_g{m} = memo[{m}]")
+            body.append(
+                f"if _g{m} is None or _g{m}.base > _a{m} "
+                f"or _a{m} + {size} > _g{m}.base + len(_g{m}.data):"
+            )
+            body.append(f"    _g{m} = find(_a{m}, {size})")
+            body.append(f"    memo[{m}] = _g{m}")
+            mem_count += 1
+
+    # ---- phase 2: committed execution in program order
+    defined: Set[int] = set()
+    r_entry: Set[int] = set()
+    phase2: List[str] = []
+    for j, insn in enumerate(members):
+        if _is_alu(insn):
+            for r in _alu_reads(insn):
+                if r not in defined:
+                    r_entry.add(r)
+            phase2.extend(_alu_source(insn, r_name))
+            defined.add(insn.dst)
+        elif _is_load(insn):
+            m = memop_index[j]
+            size = insn.size_bytes
+            phase2.append(f"counters.cycles += access(_a{m}, {size})")
+            phase2.append(
+                f"_r{insn.dst} = _up{size}(_g{m}.data, _a{m} - _g{m}.base)[0]"
+            )
+            defined.add(insn.dst)
+        else:  # store
+            m = memop_index[j]
+            size = insn.size_bytes
+            szmask = (1 << (size * 8)) - 1
+            if (insn.opcode & op.CLASS_MASK) == op.BPF_ST:
+                value = f"{insn.imm & _U64 & szmask:#x}"
+            else:
+                if insn.src not in defined:
+                    r_entry.add(insn.src)
+                value = f"_r{insn.src} & {szmask:#x}"
+            phase2.append(f"counters.cycles += access(_a{m}, {size})")
+            phase2.append(
+                f"_pk{size}(_g{m}.data, _a{m} - _g{m}.base, {value})"
+            )
+    for r in sorted(r_entry):
+        body.append(f"_r{r} = regs[{r}]")
+    body.extend(phase2)
+    for r in sorted(defined):
+        body.append(f"regs[{r}] = _r{r}")
+
+    if not body:  # pragma: no cover - blocks always have members
+        body = ["pass"]
+    source = ("def _superblock(regs, find, access, counters, memo):\n"
+              + "\n".join("    " + line for line in body))
+    namespace = dict(_SB_GLOBALS)
+    exec(compile(source, f"<superblock@{start}>", "exec"), namespace)
+    base_cycles = sum(cost.base_cost(insn) for insn in members)
+    return SuperBlock(
+        start=start,
+        count=len(members),
+        base_cycles=base_cycles,
+        next_pc=start + len(members),
+        fn=namespace["_superblock"],
+        source=source,
+        n_memops=mem_count,
+    )

@@ -43,8 +43,22 @@ class RunResult:
         return self.return_value & _U32
 
 
+#: engines selectable via ``Machine(engine=...)``
+ENGINES = ("reference", "fast")
+
+#: the kernel-stack poison pattern, allocated once (not per run)
+_STACK_FILL = b"\xa5" * op.STACK_SIZE
+
+
 class Machine:
-    """Interpreter plus performance model for one loaded program."""
+    """Interpreter plus performance model for one loaded program.
+
+    ``engine`` selects the execution engine: ``"reference"`` is the
+    canonical if/elif interpreter below; ``"fast"`` is the pre-decoded
+    fast-dispatch engine (:mod:`repro.vm.engine`) with basic-block
+    superinstructions.  Both produce bit-identical :class:`RunResult`s
+    and machine state.
+    """
 
     def __init__(
         self,
@@ -54,8 +68,14 @@ class Machine:
         seed: int = 0,
         max_insns: int = 4_000_000,
         task: Optional[TaskContext] = None,
+        engine: str = "reference",
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
+            )
         self.program = program
+        self.engine = engine
         self.memory = Memory()
         self.cache = cache if cache is not None else CacheModel()
         self.branch = branch if branch is not None else BranchPredictor()
@@ -72,7 +92,11 @@ class Machine:
         self._slots = self._expand_slots(program.insns)
         self._stack = self.memory.add_region("stack", STACK_BASE, op.STACK_SIZE)
         self._ctx = self.memory.add_region("ctx", CTX_BASE, max(program.ctx_size, 8))
-        self._packet: Optional[object] = None
+        self._fast = None
+        if engine == "fast":
+            from .engine import bind_machine
+
+            self._fast = bind_machine(self)
 
     @staticmethod
     def _expand_slots(insns: List[Instruction]) -> List[Optional[Instruction]]:
@@ -91,17 +115,32 @@ class Machine:
     #: XDP headroom available for xdp_adjust_head (XDP_PACKET_HEADROOM)
     PACKET_HEADROOM = 256
 
+    #: zeroed headroom prefix, reused when the packet region is recycled
+    _ZERO_HEADROOM = bytes(PACKET_HEADROOM)
+
     def set_packet(self, packet: bytes) -> int:
         """Install packet bytes; returns the guest address of the data.
 
         The region includes the kernel's 256-byte headroom before the
         data so ``xdp_adjust_head`` with a negative delta stays mapped.
+        The existing packet region (and its ``bytearray``) is reused
+        across invocations — resized in place when the length changes —
+        so a packet loop neither churns the region dict nor reallocates
+        the buffer; a fresh region behaves identically (zeroed headroom,
+        exact ``data_end`` bound).
         """
-        if "packet" in self.memory.regions:
-            del self.memory.regions["packet"]
-        region = self.memory.add_region(
-            "packet", PACKET_BASE, self.PACKET_HEADROOM + len(packet)
-        )
+        needed = self.PACKET_HEADROOM + len(packet)
+        region = self.memory.regions.get("packet")
+        if region is None:
+            region = self.memory.add_region("packet", PACKET_BASE, needed)
+        else:
+            data = region.data
+            if len(data) > needed:
+                del data[needed:]
+            elif len(data) < needed:
+                data.extend(bytes(needed - len(data)))
+            # a fresh region's headroom is zero-filled; match it
+            data[: self.PACKET_HEADROOM] = self._ZERO_HEADROOM
         region.data[self.PACKET_HEADROOM:] = packet
         return region.base + self.PACKET_HEADROOM
 
@@ -131,9 +170,21 @@ class Machine:
         regs[op.R10] = STACK_TOP
         # the kernel stack is NOT zeroed between invocations; a garbage
         # pattern catches programs relying on uninitialized slots
-        self._stack.data[:] = b"\xa5" * len(self._stack.data)
+        self._stack.data[:] = _STACK_FILL
 
-        return_value = self._execute(regs)
+        try:
+            if self._fast is not None:
+                return_value = self._fast.execute(regs)
+            else:
+                return_value = self._execute(regs)
+        finally:
+            # mirror the model counters once per run (not per
+            # instruction); the delta below and any caller reading
+            # ``machine.counters`` after a fault both see synced values
+            counters = self.counters
+            counters.cache_references = self.cache.stats.references
+            counters.cache_misses = self.cache.stats.misses
+            counters.branch_misses = self.branch.stats.mispredictions
         delta = self.counters.delta(before)
         return RunResult(return_value=return_value, counters=delta)
 
@@ -194,13 +245,9 @@ class Machine:
                     taken = self._condition(insn, regs, cls == op.BPF_JMP32)
                     counters.branches += 1
                     counters.cycles += self.branch.record(pc, taken)
-                    counters.branch_misses = self.branch.stats.mispredictions
                     pc += 1 + insn.off if taken else 1
             else:
                 raise VmFault(f"unknown opcode {insn.opcode:#x}")
-            # keep the cache counters mirrored
-            counters.cache_references = self.cache.stats.references
-            counters.cache_misses = self.cache.stats.misses
 
     # ------------------------------------------------------------------- ALU
     def _alu(self, insn: Instruction, regs: List[int], is32: bool) -> None:

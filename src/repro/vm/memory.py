@@ -4,13 +4,20 @@ Guest "addresses" are plain integers carved into disjoint windows, one
 per region (stack, context, packet, map values...).  Accesses are
 bounds-checked; a bad access raises :class:`MemoryFault` — the runtime
 equivalent of what the static verifier is supposed to rule out.
+
+Region lookup is O(1) in the common case: regions are indexed by the
+``addr >> 28`` window they occupy (the bases are laid out on
+``_WINDOW = 0x1000_0000`` boundaries), so :meth:`Memory.find` probes one
+bucket instead of scanning every region.  The index is invalidated
+whenever the region dict is mutated — including direct
+``del memory.regions[name]`` — and rebuilt lazily on the next lookup.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 _PACK = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
 
@@ -21,6 +28,7 @@ MAP_BASE = 0x4000_0000
 SCRATCH_BASE = 0x5000_0000
 
 _WINDOW = 0x1000_0000
+_WINDOW_SHIFT = 28
 
 
 class MemoryFault(Exception):
@@ -41,13 +49,68 @@ class Region:
         return self.base <= addr and addr + size <= self.end
 
 
+class _RegionDict(dict):
+    """Region table that invalidates the owner's window index on every
+    mutation, so legacy callers mutating ``memory.regions`` directly
+    stay correct."""
+
+    def __init__(self, owner: "Memory") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._owner._invalidate()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._owner._invalidate()
+
+    def pop(self, *args):
+        value = super().pop(*args)
+        self._owner._invalidate()
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner._invalidate()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._owner._invalidate()
+
+
 class Memory:
     """A collection of disjoint regions addressed by integer pointers."""
 
     def __init__(self) -> None:
-        self.regions: Dict[str, Region] = {}
+        self.regions: Dict[str, Region] = _RegionDict(self)
         self._next_dynamic = MAP_BASE
+        self._buckets: Optional[Dict[int, List[Region]]] = None
+        #: bumped on every region-table mutation; callers holding a
+        #: resolved Region may reuse it while the version is unchanged
+        #: and the address still falls inside the region's *live* bounds
+        self.version = 0
 
+    # ------------------------------------------------------------ index
+    def _invalidate(self) -> None:
+        """Drop the window index; it is rebuilt on the next lookup."""
+        self._buckets = None
+        self.version += 1
+
+    def _rebuild(self) -> Dict[int, List[Region]]:
+        """Index every region under each window it overlaps (a region
+        that straddles a ``_WINDOW`` boundary appears in both)."""
+        buckets: Dict[int, List[Region]] = {}
+        for region in self.regions.values():
+            first = region.base >> _WINDOW_SHIFT
+            last = max(region.end - 1, region.base) >> _WINDOW_SHIFT
+            for window in range(first, last + 1):
+                buckets.setdefault(window, []).append(region)
+        self._buckets = buckets
+        return buckets
+
+    # ---------------------------------------------------------- regions
     def add_region(self, name: str, base: int, size: int) -> Region:
         region = Region(name, base, bytearray(size))
         self.regions[name] = region
@@ -61,9 +124,15 @@ class Memory:
         return region
 
     def find(self, addr: int, size: int) -> Region:
-        for region in self.regions.values():
-            if region.contains(addr, size):
-                return region
+        buckets = self._buckets
+        if buckets is None:
+            buckets = self._rebuild()
+        candidates = buckets.get(addr >> _WINDOW_SHIFT)
+        if candidates is not None:
+            for region in candidates:
+                if region.base <= addr and addr + size <= region.base + len(
+                        region.data):
+                    return region
         raise MemoryFault(f"unmapped access: {size} bytes at {addr:#x}")
 
     def load(self, addr: int, size: int) -> int:
