@@ -7,6 +7,8 @@ Subcommands mirror the real eBPF workflow:
 * ``run``      — execute a program on a packet or context
 * ``optimize`` — show Merlin's per-pass report for a source file
 * ``fuzz``     — differential-fuzz the optimizer against the baseline
+* ``tv``       — certify per-pass semantic equivalence (translation
+  validation) over benchmark suites and/or a fuzz corpus
 * ``bench``    — batch-compile a Table-1 suite (parallel, cached)
 * ``bench-vm`` — microbenchmark the VM execution engines
 """
@@ -136,6 +138,7 @@ def cmd_fuzz(args) -> int:
         minimize=not args.no_minimize,
         jobs=args.jobs,
         engines=not args.no_engines,
+        certify=not args.no_certify,
         progress=progress,
     )
     if args.json:
@@ -155,6 +158,122 @@ def cmd_fuzz(args) -> int:
                       f"statements")
             if finding.reproducer_path is not None:
                 print(f"    reproducer: {finding.reproducer_path}")
+    return 0 if report.clean else 1
+
+
+def cmd_tv(args) -> int:
+    """Certify every Merlin pass application over suites and a corpus."""
+    from .core import MerlinPipeline
+    from .frontend import compile_source
+    from .tv import CertificateReport
+    from .workloads.suites import PROFILES, TRACE_CTX_SIZE, generate_suite
+
+    suites = [s.strip() for s in args.suite.split(",") if s.strip()] \
+        if args.suite else []
+    known = set(PROFILES) | {"xdp"}
+    for suite in suites:
+        if suite not in known:
+            print(f"unknown suite {suite!r} (choose from "
+                  f"{', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+
+    pipeline = MerlinPipeline(kernel=KERNELS[args.kernel])
+    report = CertificateReport(seed=args.seed)
+    skipped: List[tuple] = []
+
+    def certify(name: str, build) -> None:
+        try:
+            _, merlin = build()
+        except Exception as exc:
+            # the program never compiles (e.g. generated code exceeding
+            # the stack budget): nothing was optimized, nothing to certify
+            skipped.append((name, f"{type(exc).__name__}: {exc}"))
+            return
+        report.add(name, merlin.certificates)
+
+    for suite in suites:
+        if suite == "xdp":
+            from .workloads.xdp import ALL_XDP, XDP_CTX_SIZE as _XDP_CTX
+
+            for workload in ALL_XDP:
+                module = compile_source(workload.source, workload.name)
+                func = module.get(workload.entry)
+                certify(workload.name, lambda f=func, m=module: pipeline.compile(
+                    f, m, prog_type=ProgramType.XDP, ctx_size=_XDP_CTX,
+                    validate="report"))
+        else:
+            for program in generate_suite(suite, seed=args.seed,
+                                          scale=args.scale, count=args.count):
+                module = compile_source(program.source, program.name)
+                func = module.get(program.entry)
+                certify(program.name, lambda f=func, m=module: pipeline.compile(
+                    f, m, prog_type=ProgramType.TRACEPOINT, mcpu="v3",
+                    ctx_size=TRACE_CTX_SIZE, validate="report"))
+
+    if args.fuzz:
+        from .fuzz.generator import LAYERS, generate
+        from .ir import parse_function
+        from .isa import BpfProgram, assemble
+
+        layers = list(LAYERS)
+        for index in range(args.fuzz):
+            layer = layers[index % len(layers)]
+            case = generate(layer, args.seed * 1_000_003 + index)
+            name = f"fuzz/{layer}/{index}"
+            if layer == "bytecode":
+                def build(c=case):
+                    program = BpfProgram(c.name, assemble(c.text),
+                                         prog_type=c.prog_type,
+                                         ctx_size=c.ctx_size, mcpu=c.mcpu)
+                    return pipeline.optimize_program(program,
+                                                     validate="report")
+            else:
+                def build(c=case, l=layer):
+                    if l == "source":
+                        module = compile_source(c.text)
+                        func = module.get(c.name)
+                    else:
+                        module = None
+                        func = parse_function(c.text)
+                    return pipeline.compile(func, module,
+                                            prog_type=c.prog_type,
+                                            mcpu=c.mcpu, ctx_size=c.ctx_size,
+                                            validate="report")
+            certify(name, build)
+
+    document = report.to_dict()
+    document["skipped"] = [
+        {"name": name, "reason": reason} for name, reason in skipped
+    ]
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w") as fh:
+            fh.write(_json.dumps(document, indent=2) + "\n")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(document, indent=2))
+    else:
+        summary = document["summary"]
+        print(f"tv: {summary['programs']} programs, "
+              f"{summary['pass_applications']} pass applications "
+              f"({len(skipped)} program(s) skipped: did not build)")
+        by_status = ", ".join(f"{k}={v}"
+                              for k, v in summary["by_status"].items()) or "-"
+        by_method = ", ".join(f"{k}={v}"
+                              for k, v in summary["by_method"].items()) or "-"
+        print(f"  status: {by_status}")
+        print(f"  method: {by_method}")
+        for name, cert in report.alarms:
+            print(f"  ALARM {name}: {cert.pass_name} at {cert.point}: "
+                  f"{cert.detail}")
+            for key, value in sorted((cert.counterexample or {}).items()):
+                print(f"    {key} = {value}")
+        if args.out:
+            print(f"  wrote {args.out}")
+        verdict = "certified" if report.clean else "NOT certified"
+        print(f"  every pass application {verdict}")
     return 0 if report.clean else 1
 
 
@@ -288,7 +407,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for program triage (default: 1)")
     f.add_argument("--no-engines", action="store_true",
                    help="skip the reference-vs-fast VM engine axis")
+    f.add_argument("--no-certify", action="store_true",
+                   help="skip the per-pass translation-validation axis")
     f.set_defaults(handler=cmd_fuzz)
+
+    t = sub.add_parser("tv", help="certify per-pass semantic equivalence")
+    t.add_argument("--suite", default="sysdig,xdp",
+                   help="comma-separated suites "
+                        "(sysdig,tetragon,tracee,xdp; '' skips)")
+    t.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="also certify N fuzz-generated programs")
+    t.add_argument("--seed", type=int, default=2024)
+    t.add_argument("--scale", type=float, default=0.2,
+                   help="trace-suite size scale (default: 0.2)")
+    t.add_argument("--count", type=int, default=None,
+                   help="programs per trace suite (default: profile-derived)")
+    t.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+    t.add_argument("--out", default="TV_report.json",
+                   help="certificate report file "
+                        "(default: TV_report.json; '' skips)")
+    t.add_argument("--json", action="store_true",
+                   help="emit the full certificate report as JSON")
+    t.set_defaults(handler=cmd_tv)
 
     b = sub.add_parser("bench", help="batch-compile a suite through Merlin")
     b.add_argument("--suite", default="sysdig",

@@ -63,8 +63,11 @@ class CodeCompactionPass(BytecodePass):
                 continue
             if not analysis.straightline(index, nxt):
                 continue
+            snap = self._snapshot(sym)
             sym.replace(index, ins.mov32_reg(first.dst, first.dst))
             sym.delete(nxt)
+            self._witness_region(sym, snap, index, nxt,
+                                 note="zero-extension shift pair")
             rewrites += 1
             skip_until = nxt
         program.insns = sym.to_insns()

@@ -90,9 +90,13 @@ class PeepholePass(BytecodePass):
             if not analysis.reg_dead_after(and_index, and_insn.src):
                 continue
             target = and_insn.dst
+            snap = self._snapshot(sym)
             sym.delete(mask_index)  # the two-slot immediate load disappears
             sym.replace(and_index, ins.alu64("lsh", target, imm=32))
             sym.replace(shr_index, ins.alu64("rsh", target, imm=32 + shr.imm))
+            self._witness_region(sym, snap, mask_index, shr_index,
+                                 clobbered=(and_insn.src,),
+                                 note="masked-shift strength reduction")
             consumed.update({mask_index, and_index, shr_index})
             rewrites += 1
         return rewrites
@@ -119,8 +123,7 @@ class PeepholePass(BytecodePass):
                 return None
         return None
 
-    @staticmethod
-    def _redundant_jumps(sym: SymbolicProgram) -> int:
+    def _redundant_jumps(self, sym: SymbolicProgram) -> int:
         """Delete unconditional jumps to the next live instruction."""
         rewrites = 0
         for index in sym.live_indices():
@@ -136,6 +139,8 @@ class PeepholePass(BytecodePass):
                    and sym.insns[resolved].deleted):
                 resolved += 1
             if resolved == sym.next_live(index):
+                snap = self._snapshot(sym)
                 sym.delete(index)
+                self._witness_delete(snap, index, "jump-thread")
                 rewrites += 1
         return rewrites

@@ -88,11 +88,15 @@ class StoreImmediatePass(BytecodePass):
                 imm = _as_signed32(insn.imm)
                 if imm is None:
                     continue
+                snap = self._snapshot(sym)
                 sym.replace(
                     nxt,
                     ins.store_imm(store.size_bytes, store.dst, store.off, imm),
                 )
                 sym.delete(index)
+                self._witness_region(sym, snap, index, nxt,
+                                     clobbered=(insn.dst,),
+                                     note="store-immediate fold")
                 rewrites += 1
                 changed = True
                 skip_until = nxt
@@ -109,8 +113,13 @@ class StoreImmediatePass(BytecodePass):
             if not self._is_stack_store(insn):
                 continue
             lo, hi = insn.off, insn.off + insn.size_bytes
-            if self._overwritten_before_read(sym, analysis, live, pos, lo, hi):
+            overwriter = self._overwritten_before_read(
+                sym, analysis, live, pos, lo, hi)
+            if overwriter is not None:
+                snap = self._snapshot(sym)
                 sym.delete(index)
+                self._witness_region(sym, snap, index, overwriter,
+                                     note="dead stack store")
                 rewrites += 1
         return rewrites
 
@@ -130,33 +139,34 @@ class StoreImmediatePass(BytecodePass):
         pos: int,
         lo: int,
         hi: int,
-    ) -> bool:
+    ) -> Optional[int]:
+        """Logical index of the store that fully overwrites [lo, hi)
+        before any possible read, or None."""
         for later_pos in range(pos + 1, len(live)):
             index = live[later_pos]
             if analysis.is_branch_target(index):
-                return False
+                return None
             insn = sym.insns[index].insn
             if insn.is_jump or insn.is_exit or insn.is_call:
-                return False
+                return None
             # r10 escaping into another register makes aliasing possible
             if insn.is_alu and not insn.uses_imm and insn.src == op.FP:
-                return False
+                return None
             if insn.is_load and insn.src == op.FP:
                 if insn.off < hi and insn.off + insn.size_bytes > lo:
-                    return False
+                    return None
             if insn.is_atomic and insn.dst == op.FP:
                 if insn.off < hi and insn.off + insn.size_bytes > lo:
-                    return False
+                    return None
             if self._is_stack_store(insn):
                 if insn.off <= lo and insn.off + insn.size_bytes >= hi:
-                    return True  # fully overwritten
+                    return index  # fully overwritten
                 if insn.off < hi and insn.off + insn.size_bytes > lo:
-                    return False  # partial overlap: keep it simple
-        return False
+                    return None  # partial overlap: keep it simple
+        return None
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _dead_defs(sym: SymbolicProgram) -> int:
+    def _dead_defs(self, sym: SymbolicProgram) -> int:
         rewrites = 0
         while True:
             analysis = BytecodeAnalysis(sym)
@@ -164,5 +174,7 @@ class StoreImmediatePass(BytecodePass):
             if not dead:
                 return rewrites
             for index in dead:
+                snap = self._snapshot(sym)
                 sym.delete(index)
+                self._witness_delete(snap, index, "dead-def")
                 rewrites += 1

@@ -100,6 +100,9 @@ class SuperwordMergePass(BytecodePass):
         if imm is None:
             return False
         off = lo.off + 1 if PLANTED_OFFSET_BUG else lo.off
+        snap = self._snapshot(sym)
         sym.replace(index, ins.store_imm(size * 2, lo.dst, off, imm))
         sym.delete(nxt)
+        self._witness_region(sym, snap, index, nxt,
+                             note="adjacent store merge")
         return True

@@ -128,3 +128,23 @@ class SymbolicProgram:
     def replace(self, index: int, insn: Instruction,
                 target: Optional[int] = None) -> None:
         self.insns[index] = SymInsn(insn, target)
+
+    def insert_before(self, index: int, insn: Instruction,
+                      target: Optional[int] = None) -> None:
+        """Insert *insn* at logical *index*, shifting later indices up.
+
+        Branches that targeted *index* keep targeting the original
+        instruction (now at ``index + 1``) — the inserted instruction
+        executes on fall-through only.  Pass *target* (pre-insertion
+        index) to make the inserted instruction itself a branch.
+        """
+        if not 0 <= index <= len(self.insns):
+            raise RelocationError(
+                f"insert position {index} outside program of "
+                f"{len(self.insns)} instructions")
+        for sym in self.insns:
+            if sym.target is not None and sym.target >= index:
+                sym.target += 1
+        if target is not None and target >= index:
+            target += 1
+        self.insns.insert(index, SymInsn(insn, target))

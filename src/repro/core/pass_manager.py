@@ -37,6 +37,12 @@ class IRPass:
 
     name = "ir-pass"
 
+    #: translation-validation hook: a :class:`repro.tv.WitnessRecorder`
+    #: (or None).  IR passes rewrite whole functions, so the pipeline
+    #: emits one whole-function witness per pass via
+    #: :meth:`run_witnessed` rather than per-rewrite hooks.
+    recorder = None
+
     def run(self, func: ir.Function, module: Optional[ir.Module] = None) -> int:
         """Transform *func* in place; return the number of rewrites."""
         raise NotImplementedError
@@ -49,11 +55,37 @@ class IRPass:
         return PassStats(self.name, "ir", rewrites=rewrites,
                          time_seconds=elapsed)
 
+    def run_witnessed(self, func: ir.Function,
+                      module: Optional[ir.Module] = None) -> PassStats:
+        """Like :meth:`run_timed`, but snapshot the textual IR around the
+        pass and emit an ``ir-pass`` witness when anything changed."""
+        if self.recorder is None:
+            return self.run_timed(func, module)
+        from ..tv.witness import RewriteWitness
+
+        before_text = ir.print_function(func)
+        stats = self.run_timed(func, module)
+        if stats.rewrites:
+            after_text = ir.print_function(func)
+            self.recorder.emit(RewriteWitness(
+                pass_name=self.name, tier="ir", kind="ir-pass",
+                before_text=before_text, after_text=after_text,
+                note=f"{stats.rewrites} rewrite(s)",
+            ))
+        return stats
+
 
 class BytecodePass:
     """Base class for bytecode-tier passes (Merlin's bytecode refinement)."""
 
     name = "bytecode-pass"
+
+    #: translation-validation hook: a :class:`repro.tv.WitnessRecorder`
+    #: (or None).  When set, every individual rewrite the pass performs
+    #: must be reported through the ``_witness_*`` helpers below —
+    #: each call deposits a :class:`repro.tv.RewriteWitness` that the
+    #: validator certifies independently of the pass.
+    recorder = None
 
     def run(self, program: BpfProgram) -> int:
         """Rewrite *program* in place; return the number of rewrites."""
@@ -67,3 +99,57 @@ class BytecodePass:
         return PassStats(self.name, "bytecode", rewrites=rewrites,
                          time_seconds=elapsed, ni_before=ni_before,
                          ni_after=program.ni)
+
+    # ------------------------------------------------- witness emission
+    def _snapshot(self, sym):
+        """Freeze the pre-rewrite SymbolicProgram state, or None when no
+        recorder is attached (the common, zero-overhead path).
+
+        Call *before* mutating; pass the result to a ``_witness_*``
+        helper after.  ``replace``/``delete`` keep logical indices
+        stable, so region bounds survive the mutation.
+        """
+        if self.recorder is None:
+            return None
+        return tuple((item.insn, item.target, item.deleted)
+                     for item in sym.insns)
+
+    def _witness_region(self, sym, snapshot, first: int, last: int,
+                        clobbered=(), note: str = "") -> None:
+        """Report a straightline in-place rewrite of [first, last]."""
+        if snapshot is None:
+            return
+        from ..tv.witness import RewriteWitness
+
+        before = [insn for insn, _target, deleted
+                  in snapshot[first:last + 1] if not deleted]
+        after = [sym.insns[i].insn for i in range(first, last + 1)
+                 if not sym.insns[i].deleted]
+        self.recorder.emit(RewriteWitness(
+            pass_name=self.name, tier="bytecode", kind="region",
+            first=first, last=last, slot=_slot_of(snapshot, first),
+            before_insns=before, after_insns=after,
+            clobbered=tuple(clobbered), snapshot=snapshot, note=note,
+        ))
+
+    def _witness_delete(self, snapshot, index: int, kind: str,
+                        note: str = "") -> None:
+        """Report a deletion-only rewrite (``dead-def``/``jump-thread``)."""
+        if snapshot is None:
+            return
+        from ..tv.witness import RewriteWitness
+
+        self.recorder.emit(RewriteWitness(
+            pass_name=self.name, tier="bytecode", kind=kind,
+            first=index, last=index, slot=_slot_of(snapshot, index),
+            snapshot=snapshot, note=note,
+        ))
+
+
+def _slot_of(snapshot, index: int) -> int:
+    """Encoded slot offset of logical *index* in a program snapshot."""
+    slot = 0
+    for insn, _target, deleted in snapshot[:index]:
+        if not deleted:
+            slot += insn.slots
+    return slot

@@ -46,6 +46,9 @@ class MerlinReport:
     verification: Optional[VerificationResult] = None
     compile_seconds: float = 0.0
     cached: bool = False  # served from a CompilationCache, not recompiled
+    #: per-pass-application equivalence certificates
+    #: (:class:`repro.tv.Certificate`), populated by ``validate=`` modes
+    certificates: List = field(default_factory=list)
 
     @property
     def ni_reduction(self) -> float:
@@ -120,11 +123,25 @@ class MerlinPipeline:
 
     # ------------------------------------------------------------------
     def optimize_ir(self, func: ir.Function,
-                    module: Optional[ir.Module] = None) -> List[PassStats]:
-        return [p.run_timed(func, module) for p in self.ir_passes()]
+                    module: Optional[ir.Module] = None,
+                    recorder=None) -> List[PassStats]:
+        stats = []
+        for p in self.ir_passes():
+            if recorder is not None:
+                p.recorder = recorder
+                stats.append(p.run_witnessed(func, module))
+            else:
+                stats.append(p.run_timed(func, module))
+        return stats
 
-    def optimize_bytecode(self, program: BpfProgram) -> List[PassStats]:
-        return [p.run_timed(program) for p in self.bytecode_passes(program.mcpu)]
+    def optimize_bytecode(self, program: BpfProgram,
+                          recorder=None) -> List[PassStats]:
+        stats = []
+        for p in self.bytecode_passes(program.mcpu):
+            if recorder is not None:
+                p.recorder = recorder
+            stats.append(p.run_timed(program))
+        return stats
 
     def compile(
         self,
@@ -134,6 +151,7 @@ class MerlinPipeline:
         mcpu: str = "v2",
         ctx_size: int = 64,
         cache: Optional["CompilationCache"] = None,
+        validate=False,
     ) -> Tuple[BpfProgram, MerlinReport]:
         """Full pipeline: baseline compile for reference, IR refinement,
         re-compile, bytecode refinement, optional verification.
@@ -143,9 +161,19 @@ class MerlinPipeline:
         yields an identical report.  With *cache*, the result is looked
         up / stored under the content-addressed key of the canonical IR
         text plus the full pipeline configuration.
+
+        ``validate`` turns on translation validation: every pass
+        application reports a rewrite witness and the :mod:`repro.tv`
+        validator certifies it.  Certificates land in
+        ``report.certificates``; with ``validate=True`` a non-certified
+        application raises
+        :class:`repro.tv.TranslationValidationError`, while
+        ``validate="report"`` only records the verdicts.  Validation
+        bypasses *cache* — a cached result carries no witnesses to
+        certify.
         """
         key = None
-        if cache is not None:
+        if cache is not None and not validate:
             key = cache.key_for_function(
                 func, module, enabled=self.enabled, kernel=self.kernel,
                 prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
@@ -157,6 +185,12 @@ class MerlinPipeline:
                 report.cached = True
                 return program, report
 
+        recorder = None
+        if validate:
+            from ..tv import WitnessRecorder
+
+            recorder = WitnessRecorder()
+
         start = time.perf_counter()
         baseline = compile_function(func, module, prog_type=prog_type,
                                     mcpu=mcpu, ctx_size=ctx_size)
@@ -166,10 +200,10 @@ class MerlinPipeline:
         # deepcopy would recurse along arbitrarily long SSA use-def
         # chains.  The module is never mutated by IR passes.
         work_func = ir.parse_function(ir.print_function(func))
-        stats = self.optimize_ir(work_func, module)
+        stats = self.optimize_ir(work_func, module, recorder=recorder)
         program = compile_function(work_func, module, prog_type=prog_type,
                                    mcpu=mcpu, ctx_size=ctx_size)
-        stats += self.optimize_bytecode(program)
+        stats += self.optimize_bytecode(program, recorder=recorder)
         elapsed = time.perf_counter() - start
 
         report = MerlinReport(
@@ -179,11 +213,28 @@ class MerlinPipeline:
             pass_stats=stats,
             compile_seconds=elapsed,
         )
+        if recorder is not None:
+            report.certificates = self._certify(
+                recorder, module=module, prog_type=prog_type, mcpu=mcpu,
+                ctx_size=ctx_size)
+            if validate is True:
+                from ..tv import raise_on_alarm
+
+                raise_on_alarm(report.certificates)
         if self.verify_after:
             report.verification = verify(program, self.kernel)
         if cache is not None and key is not None:
             cache.put(key, program, report)
         return program, report
+
+    def _certify(self, recorder, module=None, prog_type=None,
+                 mcpu: str = "v2", ctx_size: int = 64):
+        from ..tv import TranslationValidator
+
+        validator = TranslationValidator()
+        return validator.validate_all(
+            recorder.witnesses, module=module, prog_type=prog_type,
+            mcpu=mcpu, ctx_size=ctx_size)
 
     def compile_many(self, batch, jobs: int = 1, cache=None):
         """Batch-compile :class:`repro.core.batch.CompileJob` sources,
@@ -199,12 +250,21 @@ class MerlinPipeline:
 
         return _optimize_many(self, programs, jobs=jobs)
 
-    def optimize_program(self, program: BpfProgram) -> Tuple[BpfProgram, MerlinReport]:
-        """Bytecode tier only, for programs without IR (assembled code)."""
+    def optimize_program(self, program: BpfProgram,
+                         validate=False) -> Tuple[BpfProgram, MerlinReport]:
+        """Bytecode tier only, for programs without IR (assembled code).
+
+        ``validate`` works as in :meth:`compile` (bytecode-tier
+        witnesses only)."""
+        recorder = None
+        if validate:
+            from ..tv import WitnessRecorder
+
+            recorder = WitnessRecorder()
         start = time.perf_counter()
         optimized = program.copy()
         ni_before = program.ni
-        stats = self.optimize_bytecode(optimized)
+        stats = self.optimize_bytecode(optimized, recorder=recorder)
         report = MerlinReport(
             name=program.name,
             ni_original=ni_before,
@@ -212,6 +272,12 @@ class MerlinPipeline:
             pass_stats=stats,
             compile_seconds=time.perf_counter() - start,
         )
+        if recorder is not None:
+            report.certificates = self._certify(recorder, mcpu=program.mcpu)
+            if validate is True:
+                from ..tv import raise_on_alarm
+
+                raise_on_alarm(report.certificates)
         if self.verify_after:
             report.verification = verify(optimized, self.kernel)
         return optimized, report

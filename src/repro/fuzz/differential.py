@@ -52,7 +52,7 @@ class Divergence:
 
     case: GeneratedProgram
     enabled: Tuple[str, ...]  # sorted optimizer names
-    kind: str  # "return" | "state" | "fault" | "verifier" | "build"
+    kind: str  # "return"|"state"|"fault"|"verifier"|"build"|"certificate"
     test_index: Optional[int] = None
     detail: str = ""
 
@@ -216,12 +216,59 @@ def check_engines(case: GeneratedProgram, baseline: BaselineRecord,
     return Divergence(case, ENGINE_CONFIG, kind, index, detail)
 
 
+#: pseudo-config name the translation-validation axis reports under
+CERT_CONFIG = ("certificates",)
+
+
+def check_certificates(case: GeneratedProgram,
+                       kernel: KernelConfig = DEFAULT_KERNEL,
+                       ) -> Optional[Divergence]:
+    """Translation-validation axis: run the full pipeline in
+    ``validate="report"`` mode and demand a certificate for every pass
+    application.  A non-certified application is a per-pass semantic
+    divergence — finer-grained than the end-to-end config checks, and it
+    names the faulting pass and program point directly (no bisection
+    needed)."""
+    pipeline = MerlinPipeline(kernel=kernel)
+    try:
+        if case.layer == "bytecode":
+            program = BpfProgram(case.name, assemble(case.text),
+                                 prog_type=case.prog_type,
+                                 ctx_size=case.ctx_size, mcpu=case.mcpu)
+            _, report = pipeline.optimize_program(program, validate="report")
+        else:
+            if case.layer == "source":
+                module = compile_source(case.text)
+                func = module.get(case.name)
+            else:  # "ir"
+                module = None
+                func = parse_function(case.text)
+            _, report = pipeline.compile(func, module,
+                                         prog_type=case.prog_type,
+                                         mcpu=case.mcpu,
+                                         ctx_size=case.ctx_size,
+                                         validate="report")
+    except Exception as exc:
+        return Divergence(case, CERT_CONFIG, "build",
+                          detail=f"{type(exc).__name__}: {exc}")
+    for cert in report.certificates:
+        if not cert.certified:
+            detail = f"{cert.pass_name} at {cert.point}: {cert.detail}"
+            if cert.counterexample:
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(cert.counterexample.items()))
+                detail += f" [{rendered}]"
+            return Divergence(case, CERT_CONFIG, "certificate", detail=detail)
+    return None
+
+
 def diff_case(case: GeneratedProgram,
               configs: Sequence[FrozenSet[str]] = PASS_CONFIGS,
               kernel: KernelConfig = DEFAULT_KERNEL,
               tests_per_program: int = 4,
               oracle_seed: int = 7,
-              engines: bool = True) -> Optional[Divergence]:
+              engines: bool = True,
+              certify: bool = True) -> Optional[Divergence]:
     """Run *case* under every config; first divergence wins."""
     baseline = observe_baseline(case, kernel, tests_per_program, oracle_seed)
     if engines:
@@ -230,6 +277,12 @@ def diff_case(case: GeneratedProgram,
             return divergence
     for enabled in configs:
         divergence = check_config(case, enabled, baseline, kernel)
+        if divergence is not None:
+            return divergence
+    if certify:
+        # behavioral configs take precedence: their divergences are
+        # bisectable and minimizable, a certificate hit is not
+        divergence = check_certificates(case, kernel)
         if divergence is not None:
             return divergence
     return None

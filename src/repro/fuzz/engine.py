@@ -24,6 +24,7 @@ from .corpus import write_reproducer
 from .differential import (
     PASS_CONFIGS,
     Divergence,
+    check_certificates,
     check_config,
     check_engines,
     observe_baseline,
@@ -108,7 +109,7 @@ def check_roundtrip(program) -> bool:
 def _check_index(index: int, seed: int, layers: Sequence[str],
                  configs: Sequence[FrozenSet[str]], kernel: KernelConfig,
                  tests_per_program: int, minimize: bool,
-                 engines: bool = True
+                 engines: bool = True, certify: bool = True
                  ) -> Tuple[str, Optional[FuzzFinding]]:
     """Generate and triage one campaign index.
 
@@ -148,6 +149,16 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
         if divergence is not None:
             break
     if divergence is None:
+        if certify:
+            # translation-validation axis: every pass application of
+            # the full pipeline must earn an equivalence certificate.
+            # Runs after the behavioral configs so a bug that shows up
+            # end-to-end keeps its bisected, minimized reproducer; a
+            # certificate hit already names the guilty pass and program
+            # point, so that finding skips bisection.
+            cert_divergence = check_certificates(case, kernel)
+            if cert_divergence is not None:
+                return status, FuzzFinding(cert_divergence)
         return status, None
 
     finding = FuzzFinding(divergence)
@@ -169,11 +180,12 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
 def _campaign_slice(payload: tuple) -> List[Tuple[int, str, Optional[FuzzFinding]]]:
     """Worker entry point: triage a strided slice of campaign indices."""
     (seed, start, budget, stride, layers, configs, kernel,
-     tests_per_program, minimize, engines) = payload
+     tests_per_program, minimize, engines, certify) = payload
     out = []
     for index in range(start, budget, stride):
         status, finding = _check_index(index, seed, layers, configs, kernel,
-                                       tests_per_program, minimize, engines)
+                                       tests_per_program, minimize, engines,
+                                       certify)
         out.append((index, status, finding))
     return out
 
@@ -187,6 +199,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
                  minimize: bool = True,
                  jobs: int = 1,
                  engines: bool = True,
+                 certify: bool = True,
                  progress=None) -> FuzzReport:
     """Run one differential-fuzzing campaign of *budget* programs.
 
@@ -198,6 +211,10 @@ def run_campaign(seed: int = 0, budget: int = 200,
     ``engines`` additionally runs every baseline program on both VM
     execution engines (reference and fast) and requires bit-identical
     observations, counters included.
+
+    ``certify`` additionally runs the full pipeline in translation-
+    validation mode over every program and requires an equivalence
+    certificate for each individual pass application.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -207,7 +224,8 @@ def run_campaign(seed: int = 0, budget: int = 200,
     if jobs == 1:
         triaged = (
             (index, *_check_index(index, seed, layers, configs, kernel,
-                                  tests_per_program, minimize, engines))
+                                  tests_per_program, minimize, engines,
+                                  certify))
             for index in range(budget)
         )
         for index, status, finding in triaged:
@@ -216,7 +234,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
     else:
         payloads = [
             (seed, start, budget, jobs, tuple(layers), tuple(configs),
-             kernel, tests_per_program, minimize, engines)
+             kernel, tests_per_program, minimize, engines, certify)
             for start in range(min(jobs, max(budget, 1)))
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

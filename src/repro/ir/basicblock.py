@@ -90,8 +90,20 @@ class Function:
         return block
 
     def next_name(self, prefix: str = "") -> str:
-        self._name_counter += 1
-        return f"{prefix}{self._name_counter}"
+        # skip names already taken: a parsed function starts its counter
+        # at zero, but its instructions keep their printed names, and a
+        # collision silently merges two SSA values on the next textual
+        # round trip
+        used = {arg.name for arg in self.args}
+        for block in self.blocks:
+            for insn in block.instructions:
+                if insn.name:
+                    used.add(insn.name)
+        while True:
+            self._name_counter += 1
+            name = f"{prefix}{self._name_counter}"
+            if name not in used:
+                return name
 
     def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
         """Map each block to the blocks that branch to it."""

@@ -1,0 +1,52 @@
+"""Translation validation: per-pass semantic equivalence certificates.
+
+Every Merlin pass application — constant propagation/DCE, superword
+merging, alignment inference, and macro-op fusion at the IR tier; code
+compaction, peephole optimization and store-immediate folding at the
+bytecode tier — reports a *rewrite witness* describing the region it
+touched and the mapping it claims.  The validator re-derives the safety
+argument independently: symbolic execution over a bitvector expression
+domain (checked against the verifier's tnum abstraction), exhaustive
+concrete enumeration over support-narrowed value ranges when symbolic
+terms do not normalize, and the shared fuzzing oracle as the IR tier's
+concrete fallback.  Each witness yields a :class:`Certificate`; a
+non-certified application raises :class:`TranslationValidationError`
+naming the pass, the program point, and a counterexample state.
+
+Import discipline: this package root (and :mod:`repro.tv.witness`,
+:mod:`repro.tv.validator`) is imported *by* ``repro.core`` pass modules,
+so it must not import ``repro.core`` at module level.  The tier checkers
+(:mod:`repro.tv.regioncheck`, :mod:`repro.tv.progcheck`) do depend on
+core and are loaded lazily by the validator.
+"""
+
+from .expr import Const, Op, Sym, evaluate, normalize_deep, prove_equal
+from .state import SymState, Unsupported, run_region
+from .validator import CertificateReport, TranslationValidator, raise_on_alarm
+from .witness import (
+    Certificate,
+    RewriteWitness,
+    Snapshot,
+    TranslationValidationError,
+    WitnessRecorder,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateReport",
+    "Const",
+    "Op",
+    "RewriteWitness",
+    "Snapshot",
+    "Sym",
+    "SymState",
+    "TranslationValidationError",
+    "TranslationValidator",
+    "Unsupported",
+    "WitnessRecorder",
+    "evaluate",
+    "normalize_deep",
+    "prove_equal",
+    "raise_on_alarm",
+    "run_region",
+]

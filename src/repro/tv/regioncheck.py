@@ -1,0 +1,206 @@
+"""Bytecode-tier witness validation.
+
+Every bytecode witness carries a snapshot of the whole pre-rewrite
+program, so the validator re-derives each claim independently of the
+pass that made it:
+
+* ``region`` — recheck that the region really is straightline and that
+  each claimed-clobbered register really is dead afterwards (fresh
+  :class:`BytecodeAnalysis` on the snapshot), then symbolically execute
+  the before/after instruction lists from a common initial state and
+  prove every non-clobbered register and every written memory byte
+  equal (:func:`repro.tv.expr.prove_equal`).
+* ``dead-def`` — recheck the deleted instruction is side-effect-free
+  and that everything it defines is dead.
+* ``jump-thread`` — recheck the deleted jump resolved to the
+  instruction that now falls through.
+
+Alarm policy: a ``refuted`` certificate always carries a *concrete*
+counterexample (a register/memory assignment under which the two
+regions compute different states) or a failed structural claim that the
+rewrite visibly depends on.  Inconclusive symbolic results degrade to
+``checked``, never to an alarm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bytecode_passes.analysis import BytecodeAnalysis
+from ..core.bytecode_passes.symbolic import SymInsn, SymbolicProgram
+from ..isa import Instruction
+from ..isa import opcodes as op
+from .expr import Sym, evaluate, prove_equal, render
+from .state import SymState, Unsupported, initial_byte, run_region
+from .witness import Certificate, RewriteWitness, Snapshot
+
+_U64 = (1 << 64) - 1
+
+
+def rebuild(snapshot: Snapshot) -> SymbolicProgram:
+    """Reconstruct the pre-rewrite SymbolicProgram from a witness."""
+    return SymbolicProgram(
+        [SymInsn(insn, target, deleted) for insn, target, deleted in snapshot]
+    )
+
+
+def _refuted(witness: RewriteWitness, method: str, detail: str,
+             counterexample: Optional[Dict[str, str]] = None) -> Certificate:
+    return Certificate(witness.pass_name, witness.tier, witness.kind,
+                       witness.point, method, "refuted",
+                       counterexample=counterexample, detail=detail)
+
+
+def _proved(witness: RewriteWitness, method: str,
+            detail: str = "") -> Certificate:
+    return Certificate(witness.pass_name, witness.tier, witness.kind,
+                       witness.point, method, "proved", detail=detail)
+
+
+def validate_bytecode_witness(witness: RewriteWitness,
+                              seed: int = 0) -> Certificate:
+    """Issue a certificate for one bytecode-tier rewrite witness."""
+    if witness.kind == "region":
+        return _validate_region(witness, seed)
+    if witness.kind == "dead-def":
+        return _validate_dead_def(witness)
+    if witness.kind == "jump-thread":
+        return _validate_jump_thread(witness)
+    return Certificate(witness.pass_name, witness.tier, witness.kind,
+                       witness.point, "structural", "checked",
+                       detail=f"unknown witness kind {witness.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# structural kinds
+# ---------------------------------------------------------------------------
+def _validate_jump_thread(witness: RewriteWitness) -> Certificate:
+    sym = rebuild(witness.snapshot)
+    item = sym.insns[witness.first]
+    insn = item.insn
+    if not (insn.is_jump and insn.jmp_op == op.BPF_JA
+            and not insn.is_exit and not insn.is_call):
+        return _refuted(witness, "structural",
+                        f"deleted instruction is not a plain jump: {insn}")
+    resolved = item.target
+    if resolved is None:
+        return _refuted(witness, "structural", "jump has no recorded target")
+    while resolved < len(sym.insns) and sym.insns[resolved].deleted:
+        resolved += 1
+    if resolved != sym.next_live(witness.first):
+        return _refuted(
+            witness, "structural",
+            f"jump resolves to insn {resolved}, not the fall-through "
+            f"{sym.next_live(witness.first)} — deleting it redirects "
+            f"control flow")
+    return _proved(witness, "structural",
+                   "jump target is the fall-through instruction")
+
+
+def _validate_dead_def(witness: RewriteWitness) -> Certificate:
+    sym = rebuild(witness.snapshot)
+    analysis = BytecodeAnalysis(sym)
+    insn = sym.insns[witness.first].insn
+    if insn.is_memory or insn.is_call or insn.is_jump or insn.is_exit:
+        return _refuted(witness, "structural",
+                        f"deleted instruction has side effects: {insn}")
+    is_self_move = (insn.is_alu and insn.alu_op == op.BPF_MOV
+                    and not insn.uses_imm and insn.dst == insn.src
+                    and insn.is_alu64)
+    if is_self_move:
+        return _proved(witness, "structural", "64-bit self-move is a no-op")
+    defs = insn.defs()
+    if not defs:
+        return _refuted(witness, "structural",
+                        f"instruction defines nothing deletable: {insn}")
+    for reg in defs:
+        if not analysis.reg_dead_after(witness.first, reg):
+            return _refuted(
+                witness, "structural",
+                f"r{reg} is read after insn {witness.first} — the deleted "
+                f"definition was live")
+    return _proved(witness, "structural",
+                   "defined registers are dead; no side effects")
+
+
+# ---------------------------------------------------------------------------
+# region equivalence
+# ---------------------------------------------------------------------------
+def _validate_region(witness: RewriteWitness, seed: int) -> Certificate:
+    sym = rebuild(witness.snapshot)
+    analysis = BytecodeAnalysis(sym)
+
+    if not analysis.straightline(witness.first, witness.last):
+        return _refuted(
+            witness, "structural",
+            "rewritten region is not straightline — a branch can enter or "
+            "leave it mid-way")
+    for reg in witness.clobbered:
+        if not analysis.reg_dead_after(witness.last, reg):
+            return _refuted(
+                witness, "structural",
+                f"r{reg} is claimed clobbered but is read after insn "
+                f"{witness.last}")
+
+    try:
+        before = run_region(witness.before_insns)
+        after = run_region(witness.after_insns)
+    except Unsupported as exc:
+        return Certificate(witness.pass_name, witness.tier, witness.kind,
+                           witness.point, "structural", "checked",
+                           detail=f"outside the symbolic fragment: {exc}")
+    return compare_states(witness, before, after, seed)
+
+
+def compare_states(witness: RewriteWitness, before: SymState,
+                   after: SymState, seed: int) -> Certificate:
+    """Prove the two final states equal modulo the clobber set."""
+    clobbered = set(witness.clobbered)
+    goals: List[Tuple[str, object, object]] = []
+    for reg in range(11):
+        if reg in clobbered:
+            continue
+        if before.regs[reg] == after.regs[reg]:
+            continue  # cheap structural pre-filter
+        goals.append((f"r{reg}", before.regs[reg], after.regs[reg]))
+    keys = set(before.memory) | set(after.memory)
+    for base, off in sorted(keys, key=lambda k: (repr(k[0]), k[1])):
+        lhs = before.memory.get((base, off), initial_byte(base, off))
+        rhs = after.memory.get((base, off), initial_byte(base, off))
+        if lhs == rhs:
+            continue
+        goals.append((render(initial_byte(base, off)), lhs, rhs))
+
+    methods = set()
+    checked = False
+    for where, lhs, rhs in goals:
+        status, method, env = prove_equal(lhs, rhs, seed=seed)
+        methods.add(method)
+        if status == "refuted":
+            counterexample = _describe_counterexample(where, lhs, rhs, env)
+            return _refuted(
+                witness, method,
+                f"{where} differs between the original and rewritten "
+                f"region", counterexample)
+        if status == "checked":
+            checked = True
+
+    method = ("symbolic" if not methods or methods == {"symbolic"}
+              else "enumeration")
+    status = "checked" if checked else "proved"
+    detail = (f"{len(goals)} non-trivial goal(s)" if goals
+              else "states are structurally identical")
+    return Certificate(witness.pass_name, witness.tier, witness.kind,
+                       witness.point, method, status, detail=detail)
+
+
+def _describe_counterexample(where: str, lhs, rhs,
+                             env: Optional[Dict[Sym, int]]
+                             ) -> Dict[str, str]:
+    env = env or {}
+    out = {"location": where}
+    for sym, value in sorted(env.items(), key=lambda kv: render(kv[0])):
+        out[render(sym)] = hex(value)
+    out["before"] = hex(evaluate(lhs, env))
+    out["after"] = hex(evaluate(rhs, env))
+    return out

@@ -1,0 +1,147 @@
+"""Certificate orchestration and aggregate reporting.
+
+:class:`TranslationValidator` turns the witnesses one compilation
+emitted into :class:`~repro.tv.witness.Certificate` objects, dispatching
+to the bytecode-tier region checker or the IR-tier whole-function
+checker per witness.  :class:`CertificateReport` aggregates the
+certificates of a whole suite or fuzz corpus into the JSON document the
+``repro tv`` command writes.
+
+The tier checkers are imported lazily: this module (and the ``repro.tv``
+package root) must stay importable from inside ``repro.core`` pass
+modules without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .witness import Certificate, RewriteWitness, TranslationValidationError
+
+
+class TranslationValidator:
+    """Validates rewrite witnesses and issues certificates."""
+
+    def __init__(self, seed: int = 0, tests: int = 12):
+        self.seed = seed
+        #: oracle-battery size for the IR tier's concrete fallback
+        self.tests = tests
+
+    def validate_witness(
+        self,
+        witness: RewriteWitness,
+        module=None,
+        prog_type=None,
+        mcpu: str = "v2",
+        ctx_size: int = 64,
+        compiled: Optional[Dict] = None,
+    ) -> Certificate:
+        """Certificate for a single witness (either tier)."""
+        if witness.tier == "ir":
+            from .progcheck import validate_ir_witness
+
+            return validate_ir_witness(
+                witness, module=module, prog_type=prog_type, mcpu=mcpu,
+                ctx_size=ctx_size, seed=self.seed, tests=self.tests,
+                compiled=compiled,
+            )
+        from .regioncheck import validate_bytecode_witness
+
+        return validate_bytecode_witness(witness, seed=self.seed)
+
+    def validate_all(
+        self,
+        witnesses: Sequence[RewriteWitness],
+        module=None,
+        prog_type=None,
+        mcpu: str = "v2",
+        ctx_size: int = 64,
+    ) -> List[Certificate]:
+        """Certificates for every witness of one compilation.
+
+        IR-tier witnesses of the same compilation share a text->program
+        memo: pass N's after-text is pass N+1's before-text.
+        """
+        compiled: Dict = {}
+        return [
+            self.validate_witness(w, module=module, prog_type=prog_type,
+                                  mcpu=mcpu, ctx_size=ctx_size,
+                                  compiled=compiled)
+            for w in witnesses
+        ]
+
+
+def raise_on_alarm(certificates: Sequence[Certificate]) -> None:
+    """Raise :class:`TranslationValidationError` for the first
+    non-certified pass application, if any."""
+    for cert in certificates:
+        if not cert.certified:
+            raise TranslationValidationError(
+                cert.pass_name, cert.tier, cert.point,
+                counterexample=cert.counterexample,
+                detail=cert.detail, certificate=cert,
+            )
+
+
+class CertificateReport:
+    """Aggregate certificates across many programs (suite / corpus)."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.programs: List[Tuple[str, List[Certificate]]] = []
+
+    def add(self, name: str, certificates: Sequence[Certificate]) -> None:
+        self.programs.append((name, list(certificates)))
+
+    # ------------------------------------------------------------ queries
+    @property
+    def total_witnesses(self) -> int:
+        return sum(len(certs) for _, certs in self.programs)
+
+    @property
+    def alarms(self) -> List[Tuple[str, Certificate]]:
+        return [
+            (name, cert)
+            for name, certs in self.programs
+            for cert in certs
+            if not cert.certified
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return not self.alarms
+
+    def counts(self, attr: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for _, certs in self.programs:
+            for cert in certs:
+                key = getattr(cert, attr)
+                out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    # ----------------------------------------------------------- document
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "summary": {
+                "programs": len(self.programs),
+                "pass_applications": self.total_witnesses,
+                "alarms": len(self.alarms),
+                "clean": self.clean,
+                "by_status": self.counts("status"),
+                "by_method": self.counts("method"),
+                "by_pass": self.counts("pass_name"),
+            },
+            "programs": [
+                {
+                    "name": name,
+                    "certified": all(c.certified for c in certs),
+                    "certificates": [c.to_dict() for c in certs],
+                }
+                for name, certs in self.programs
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

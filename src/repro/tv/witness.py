@@ -1,0 +1,142 @@
+"""Rewrite witnesses and equivalence certificates.
+
+Every pass application reports what it did as a :class:`RewriteWitness`
+through the recorder hook on :class:`repro.core.pass_manager`'s pass
+base classes; the validator then re-derives the safety argument
+independently and issues a :class:`Certificate` per witness.
+
+Witness kinds:
+
+``region``
+    A straightline instruction range was rewritten in place.  Carries
+    the before/after instruction lists, the region bounds (logical
+    indices into the pre-rewrite program), and the registers the pass
+    claims are dead afterwards (``clobbered``).
+``dead-def``
+    An instruction whose only effect is defining never-read registers
+    was deleted.
+``jump-thread``
+    An unconditional jump to the immediately-following instruction was
+    deleted.
+``ir-pass``
+    A whole-function IR-tier transformation; carries the before/after
+    textual IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Instruction
+
+#: one pre-rewrite program entry: (instruction, logical jump target,
+#: deleted flag) — enough to rebuild the SymbolicProgram for claim
+#: rechecking
+Snapshot = Tuple[Tuple[Instruction, Optional[int], bool], ...]
+
+
+@dataclass
+class RewriteWitness:
+    """What one rewrite claims it did."""
+
+    pass_name: str
+    tier: str  # "ir" | "bytecode"
+    kind: str  # "region" | "dead-def" | "jump-thread" | "ir-pass"
+    #: logical index range [first, last] into the pre-rewrite program
+    first: int = 0
+    last: int = 0
+    #: slot offset of ``first`` in the pre-rewrite encoding (reporting)
+    slot: int = 0
+    before_insns: List[Instruction] = field(default_factory=list)
+    after_insns: List[Instruction] = field(default_factory=list)
+    #: registers the pass claims are dead after the region
+    clobbered: Tuple[int, ...] = ()
+    #: full pre-rewrite program state, for independent claim rechecks
+    snapshot: Snapshot = ()
+    #: IR tier: textual function before/after
+    before_text: str = ""
+    after_text: str = ""
+    note: str = ""
+
+    @property
+    def point(self) -> str:
+        """Human-readable program point for reports and errors."""
+        if self.kind == "ir-pass":
+            return f"ir:{self.pass_name}"
+        return f"insn {self.first} (slot {self.slot})"
+
+
+@dataclass
+class Certificate:
+    """The validator's verdict on one witness."""
+
+    pass_name: str
+    tier: str
+    kind: str
+    point: str
+    #: "symbolic" | "enumeration" | "tnum" | "structural" | "concrete"
+    #: | "identical"
+    method: str
+    #: "proved" (equivalence established), "checked" (no proof, but no
+    #: counterexample under narrowed sampling either), "refuted"
+    status: str
+    counterexample: Optional[Dict[str, str]] = None
+    detail: str = ""
+
+    @property
+    def certified(self) -> bool:
+        return self.status in ("proved", "checked")
+
+    def to_dict(self) -> dict:
+        out = {
+            "pass": self.pass_name,
+            "tier": self.tier,
+            "kind": self.kind,
+            "point": self.point,
+            "method": self.method,
+            "status": self.status,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.counterexample:
+            out["counterexample"] = dict(self.counterexample)
+        return out
+
+
+class TranslationValidationError(Exception):
+    """A pass application failed its equivalence certificate."""
+
+    def __init__(self, pass_name: str, tier: str, point: str,
+                 counterexample: Optional[Dict[str, str]] = None,
+                 detail: str = "",
+                 certificate: Optional[Certificate] = None):
+        self.pass_name = pass_name
+        self.tier = tier
+        self.point = point
+        self.counterexample = counterexample or {}
+        self.detail = detail
+        self.certificate = certificate
+        message = (f"pass {pass_name!r} ({tier} tier) is not semantics-"
+                   f"preserving at {point}")
+        if detail:
+            message += f": {detail}"
+        if counterexample:
+            rendered = ", ".join(f"{k}={v}"
+                                 for k, v in sorted(counterexample.items()))
+            message += f" [counterexample: {rendered}]"
+        super().__init__(message)
+
+
+class WitnessRecorder:
+    """Collects witnesses as a pass runs; attached via the pass-manager
+    hook (``BytecodePass.recorder``)."""
+
+    def __init__(self) -> None:
+        self.witnesses: List[RewriteWitness] = []
+
+    def emit(self, witness: RewriteWitness) -> None:
+        self.witnesses.append(witness)
+
+    def __len__(self) -> int:
+        return len(self.witnesses)

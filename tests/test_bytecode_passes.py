@@ -544,7 +544,7 @@ class TestPeephole:
         """)
         sym = SymbolicProgram.from_program(prog)
         sym.delete(3)  # the exit: "goto out" now resolves to end-of-program
-        assert PeepholePass._redundant_jumps(sym) == 0
+        assert PeepholePass()._redundant_jumps(sym) == 0
         assert not sym.insns[1].deleted
 
 

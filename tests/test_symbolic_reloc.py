@@ -1,0 +1,120 @@
+"""SymbolicProgram relocation edge cases: insertion, deleted jump
+targets, multi-slot instructions, and unresolvable branches."""
+
+import pytest
+
+from repro.core.bytecode_passes.symbolic import (
+    RelocationError,
+    SymbolicProgram,
+)
+from repro.isa import BpfProgram, assemble, disassemble
+from repro.isa import instruction as ins
+from repro.vm import Machine
+
+
+def _sym(text: str) -> SymbolicProgram:
+    return SymbolicProgram.from_program(
+        BpfProgram("t", assemble(text), ctx_size=64))
+
+
+def _run(insns) -> int:
+    program = BpfProgram("t", list(insns), ctx_size=64)
+    return Machine(program).run(ctx=bytes(64)).return_value
+
+
+class TestInsertBefore:
+    def test_insert_before_slot_zero(self):
+        sym = _sym("r0 = 1\nexit")
+        sym.insert_before(0, ins.mov64_imm(5, 9))
+        out = sym.to_insns()
+        assert out[0] == ins.mov64_imm(5, 9)
+        assert _run(out) == 1
+
+    def test_branch_over_insertion_point_keeps_target(self):
+        # inserting at a branch target must NOT put the new instruction
+        # on the branching path — it executes on fall-through only
+        sym = _sym("r1 = 0\nif r1 == 0 goto +1\nr0 = 1\nr0 += 2\nexit")
+        assert sym.insns[1].target == 3
+        sym.insert_before(3, ins.alu64("add", 0, imm=40))
+        out = sym.to_insns()
+        # the taken branch skips both "r0 = 1" and the inserted add
+        assert _run(out) == 2
+
+    def test_insert_shifts_jump_targets(self):
+        sym = _sym("goto +1\nr0 = 9\nexit")
+        assert sym.insns[0].target == 2
+        sym.insert_before(1, ins.mov64_imm(0, 5))
+        assert sym.insns[0].target == 3
+        assert _run(sym.to_insns()) == 0  # jump still skips both movs
+
+    def test_insert_at_end_and_bounds(self):
+        sym = _sym("r0 = 1\nexit")
+        sym.insert_before(len(sym.insns), ins.mov64_imm(0, 2))
+        assert len(sym.insns) == 3
+        with pytest.raises(RelocationError):
+            sym.insert_before(99, ins.mov64_imm(0, 0))
+        with pytest.raises(RelocationError):
+            sym.insert_before(-1, ins.mov64_imm(0, 0))
+
+    def test_inserted_branch_target_adjusts(self):
+        sym = _sym("r0 = 1\nr0 = 2\nexit")
+        sym.insert_before(0, ins.jump("ja"), target=1)
+        out = sym.to_insns()
+        assert _run(out) == 2  # inserted jump skips the first mov
+
+
+class TestDeletedTargets:
+    def test_delete_jump_target_falls_through(self):
+        sym = _sym("goto +1\nr0 = 7\nr0 = 3\nexit")
+        assert sym.insns[0].target == 2
+        sym.delete(2)
+        out = sym.to_insns()
+        # branch retargets to the next live instruction (the exit)
+        assert _run(out) == 0
+
+    def test_delete_everything_between_jump_and_end(self):
+        sym = _sym("r0 = 5\ngoto +1\nr0 = 1\nexit")
+        sym.delete(2)
+        assert _run(sym.to_insns()) == 5
+
+    def test_branch_targets_skip_deleted(self):
+        sym = _sym("goto +1\nr0 = 7\nr0 = 3\nexit")
+        sym.delete(2)
+        assert sym.branch_targets() == {3}
+
+
+class TestMultiSlotInstructions:
+    def test_back_to_back_ld_imm64(self):
+        # two 2-slot loads back to back: a branch over both must
+        # relocate by slots, not indices
+        sym = _sym(
+            "if r1 == 0 goto +4\n"
+            "r2 = 0x11223344 ll\n"
+            "r3 = 0x55667788 ll\n"
+            "r0 = 1\n"
+            "exit")
+        # +4 slots crosses two 2-slot loads: logical index is 3, not 5
+        assert sym.insns[0].target == 3
+        out = sym.to_insns()
+        # round-trip through text must preserve the shape
+        assert assemble(disassemble(out)) == out
+
+    def test_delete_before_ld_imm64_relocates_slots(self):
+        sym = _sym(
+            "goto +3\n"
+            "r2 = 0x11223344 ll\n"
+            "r0 = 9\n"
+            "exit")
+        sym.delete(1)  # the branch skipped the 2-slot load anyway
+        out = sym.to_insns()
+        assert _run(out) == 0
+
+    def test_branch_into_ld_imm64_second_slot_rejected(self):
+        insns = [
+            ins.jump("ja", off=1),  # lands on the ld_imm64's second slot
+            ins.ld_imm64(2, 0x1122334455667788),
+            ins.exit_(),
+        ]
+        program = BpfProgram("t", insns, ctx_size=64)
+        with pytest.raises(RelocationError, match="inside an instruction"):
+            SymbolicProgram.from_program(program)

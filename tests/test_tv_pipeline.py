@@ -1,0 +1,123 @@
+"""End-to-end translation validation: compile(validate=...), the cache
+bypass, the fuzz-campaign certificate axis, and the ``repro tv`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cache import CompilationCache
+from repro.cli import main
+from repro.core import MerlinPipeline
+from repro.frontend import compile_source
+from repro.fuzz.differential import check_certificates
+from repro.fuzz.engine import run_campaign
+from repro.fuzz.generator import generate
+from repro.tv import CertificateReport, TranslationValidationError
+
+pytestmark = pytest.mark.tv
+
+
+def _compile_counter(source, **kwargs):
+    module = compile_source(source)
+    pipeline = MerlinPipeline()
+    return pipeline.compile(module.get("count"), module, **kwargs)
+
+
+class TestCompileValidate:
+    def test_validate_true_certifies_every_pass(self, counter_source):
+        program, report = _compile_counter(counter_source, validate=True)
+        assert report.certificates, "pipeline emitted no witnesses"
+        assert all(c.certified for c in report.certificates)
+        # validation must not change the compilation result
+        plain, _ = _compile_counter(counter_source)
+        assert program.insns == plain.insns
+
+    def test_report_mode_never_raises(self, counter_source):
+        _program, report = _compile_counter(counter_source,
+                                            validate="report")
+        assert report.certificates
+        assert {c.tier for c in report.certificates} <= {"ir", "bytecode"}
+
+    def test_without_validate_no_certificates(self, counter_source):
+        _program, report = _compile_counter(counter_source)
+        assert report.certificates == []
+
+    def test_error_is_structured(self, counter_source, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.bytecode_passes.superword.PLANTED_OFFSET_BUG", True)
+        source = """
+        u64 pair(u8* ctx) {
+            u64 acc = 7;
+            u64 shadow = 0;
+            acc = acc + shadow;
+            return acc;
+        }
+        """
+        module = compile_source(source)
+        pipeline = MerlinPipeline()
+        try:
+            pipeline.compile(module.get("pair"), module, validate=True)
+        except TranslationValidationError as err:
+            assert err.pass_name
+            assert err.point
+        # no SLM merge in this program is fine too — the planted bug
+        # only fires on adjacent stack stores
+
+
+class TestCacheBypass:
+    def test_validate_skips_cache_entirely(self, counter_source):
+        cache = CompilationCache()
+        _program, report = _compile_counter(counter_source, cache=cache,
+                                            validate="report")
+        assert report.cached is False
+        assert report.certificates
+        assert len(cache) == 0  # nothing stored under validation
+
+    def test_cached_hit_has_no_certificates(self, counter_source):
+        cache = CompilationCache()
+        _compile_counter(counter_source, cache=cache)
+        _program, report = _compile_counter(counter_source, cache=cache)
+        assert report.cached is True
+        assert report.certificates == []
+
+
+class TestFuzzCertificateAxis:
+    def test_clean_case_yields_no_divergence(self):
+        case = generate("bytecode", 7)
+        assert check_certificates(case) is None
+
+    def test_campaign_smoke_stays_clean(self, tmp_path):
+        report = run_campaign(seed=2024, budget=6, minimize=False,
+                              corpus_dir=str(tmp_path), certify=True)
+        kinds = [f.divergence.kind for f in report.findings]
+        assert "certificate" not in kinds
+
+
+class TestCertificateReport:
+    def test_summary_counts(self, counter_source):
+        _program, report = _compile_counter(counter_source,
+                                            validate="report")
+        doc = CertificateReport(seed=2024)
+        doc.add("count", report.certificates)
+        summary = doc.to_dict()["summary"]
+        assert summary["programs"] == 1
+        assert summary["pass_applications"] == len(report.certificates)
+        assert summary["alarms"] == 0
+        assert doc.clean
+
+
+class TestTvCli:
+    def test_tv_sysdig_subset(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(["tv", "--suite", "sysdig", "--count", "2",
+                   "--fuzz", "2", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "pass applications" in text
+        document = json.loads(out.read_text())
+        assert document["summary"]["alarms"] == 0
+        assert document["summary"]["programs"] >= 2
+
+    def test_tv_rejects_unknown_suite(self, capsys):
+        assert main(["tv", "--suite", "nope", "--out", ""]) == 2
+        assert "unknown suite" in capsys.readouterr().err
