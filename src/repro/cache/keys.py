@@ -10,7 +10,10 @@ A key digests everything that determines the output of
 * the **enabled optimizer set** (sorted short names);
 * the **kernel configuration** (every field: the gate decisions, limits
   and verifier cost model all feed the result);
-* **mcpu**, **program type**, **ctx size**, and ``verify_after``.
+* **mcpu**, **program type**, **ctx size**, ``verify_after``, and
+  whether **translation validation** ran (a validated entry carries
+  per-pass certificates in its report; an unvalidated one does not, so
+  the two must never share an entry).
 
 Keys are hex SHA-256 digests, so they are safe as file names for the
 on-disk store.  ``SCHEMA_VERSION`` is folded in; bump it whenever the
@@ -29,7 +32,7 @@ from ..isa import ProgramType
 from ..verifier import KernelConfig
 
 #: bump to invalidate every previously written cache entry
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def canonical_text(func: ir.Function, module: Optional[ir.Module] = None) -> str:
@@ -60,6 +63,7 @@ def compose_key(
     mcpu: str = "v2",
     ctx_size: int = 64,
     verify_after: bool = False,
+    validate: bool = False,
 ) -> str:
     """SHA-256 hex digest over the full compilation configuration."""
     parts = (
@@ -70,6 +74,7 @@ def compose_key(
         f"mcpu={mcpu}",
         f"ctx_size={ctx_size}",
         f"verify_after={int(verify_after)}",
+        f"validate={int(validate)}",
         "ir:",
         ir_text,
     )
@@ -108,8 +113,9 @@ def key_for_function(
     mcpu: str = "v2",
     ctx_size: int = 64,
     verify_after: bool = False,
+    validate: bool = False,
 ) -> str:
     """Key an IR function directly (renders its canonical text first)."""
     return compose_key(canonical_text(func, module), enabled, kernel,
                        prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-                       verify_after=verify_after)
+                       verify_after=verify_after, validate=validate)

@@ -31,7 +31,14 @@ from . import keys as _keys
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters, mergeable across worker processes."""
+    """Hit/miss/eviction counters, mergeable across worker processes.
+
+    ``write_errors``/``read_errors`` count disk-layer I/O failures the
+    cache absorbed (permission loss, the directory replaced, torn
+    bytes): the store degrades to memory-only behavior instead of
+    propagating them, and a long-running service surfaces the counters
+    through its stats endpoint.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -39,6 +46,8 @@ class CacheStats:
     evictions: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    write_errors: int = 0
+    read_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,6 +64,8 @@ class CacheStats:
         self.evictions += other.evictions
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
+        self.write_errors += other.write_errors
+        self.read_errors += other.read_errors
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +75,8 @@ class CacheStats:
             "evictions": self.evictions,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "write_errors": self.write_errors,
+            "read_errors": self.read_errors,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -94,11 +107,12 @@ class CompilationCache:
                          enabled: FrozenSet[str], kernel: KernelConfig,
                          prog_type: ProgramType = ProgramType.XDP,
                          mcpu: str = "v2", ctx_size: int = 64,
-                         verify_after: bool = False) -> str:
+                         verify_after: bool = False,
+                         validate: bool = False) -> str:
         return _keys.key_for_function(
             func, module, enabled=enabled, kernel=kernel,
             prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-            verify_after=verify_after)
+            verify_after=verify_after, validate=validate)
 
     # ----------------------------------------------------------- lookup
     def get(self, key: str) -> Optional[Tuple[BpfProgram, MerlinReport]]:
@@ -114,8 +128,14 @@ class CompilationCache:
                 with open(path, "rb") as handle:
                     blob = handle.read()
                 entry = pickle.loads(blob)
-            except (OSError, pickle.UnpicklingError, EOFError):
+            except FileNotFoundError:
+                entry = None  # a plain miss, not a fault
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                # unreadable or torn entry (permission loss, directory
+                # replaced, schema drift): degrade to a miss
                 entry = None
+                self.stats.read_errors += 1
             if entry is not None:
                 self._remember(key, blob)
                 self.stats.hits += 1
@@ -134,7 +154,12 @@ class CompilationCache:
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        return self.directory is not None and os.path.exists(self._path(key))
+        if self.directory is None:
+            return False
+        try:
+            return os.path.exists(self._path(key))
+        except OSError:  # e.g. the directory replaced by a file
+            return False
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -156,16 +181,22 @@ class CompilationCache:
         return os.path.join(self.directory, key[:2], f"{key}.pkl")
 
     def _write_disk(self, key: str, blob: bytes) -> None:
+        """Best-effort: a failed disk write (permission lost, directory
+        deleted or replaced mid-run) degrades the store to memory-only
+        for that entry instead of taking the caller down."""
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=".tmp-", suffix=".pkl")
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=".tmp-", suffix=".pkl")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp, path)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self.stats.write_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass

@@ -11,6 +11,10 @@ Subcommands mirror the real eBPF workflow:
   validation) over benchmark suites and/or a fuzz corpus
 * ``bench``    — batch-compile a Table-1 suite (parallel, cached)
 * ``bench-vm`` — microbenchmark the VM execution engines
+* ``serve``    — run the optimization-as-a-service daemon (JSON lines
+  over a local socket, admission batching, shared warm cache)
+* ``bench-serve`` — drive a daemon with Zipf-skewed synthetic tenant
+  traffic and write the cold-vs-warm ``BENCH_service.json``
 """
 
 from __future__ import annotations
@@ -364,6 +368,87 @@ def cmd_bench_vm(args) -> int:
     return 0 if report.all_identical else 1
 
 
+def cmd_serve(args) -> int:
+    import json as _json
+    import signal
+
+    from .serve import DaemonThread, ServeConfig
+
+    config = ServeConfig(
+        socket_path=None if args.tcp is not None else args.socket,
+        host="127.0.0.1" if args.tcp is not None else None,
+        port=args.tcp or 0,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        kernel=args.kernel,
+    )
+    daemon = DaemonThread(config).start()
+    kind = daemon.address[0]
+    where = daemon.address[1] if kind == "unix" else \
+        f"{daemon.address[1]}:{daemon.address[2]}"
+    print(f"repro serve: listening on {kind} {where} "
+          f"(jobs={config.jobs}, max_batch={config.max_batch}, "
+          f"max_delay={config.max_delay * 1000:.1f}ms)", file=sys.stderr)
+
+    done = []
+
+    def _stop(signum, frame):
+        if not done:
+            done.append(signum)
+            print("repro serve: draining...", file=sys.stderr)
+            daemon.daemon.request_stop(drain=True)
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    daemon._thread.join()
+    snapshot = daemon.daemon.snapshot()
+    if args.stats_out:
+        with open(args.stats_out, "w") as fh:
+            fh.write(_json.dumps(snapshot, indent=2) + "\n")
+    print(f"repro serve: {snapshot['requests']['responded']} responses, "
+          f"{snapshot['requests']['compiles']} compiles, "
+          f"cache hit rate "
+          f"{snapshot['cache']['hit_rate'] * 100:.0f}%", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from .eval.serviceperf import bench_service
+    from .serve.loadgen import FaultPlan
+
+    faults = None
+    if args.faults:
+        faults = FaultPlan(malformed=0.02, oversized=0.01,
+                           unknown_op=0.01, disconnect=0.02)
+    progress = None if args.json else (
+        lambda line: print(line, file=sys.stderr))
+    report = bench_service(
+        requests=args.requests, clients=args.clients, unique=args.unique,
+        seed=args.seed, zipf_s=args.zipf, depth=args.depth,
+        jobs=args.jobs, max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0, faults=faults,
+        progress=progress)
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(report.to_json())
+    else:
+        for phase in (report.cold, report.warm):
+            lat = phase.latency_ms
+            print(f"{phase.phase}: {phase.ok}/{phase.requests} ok "
+                  f"({phase.dropped} dropped), "
+                  f"{phase.programs_per_second:.1f} programs/s, "
+                  f"p50 {lat['p50']:.1f}ms p99 {lat['p99']:.1f}ms, "
+                  f"hit rate {phase.hit_rate * 100:.0f}%")
+        print(f"warm/cold speedup: {report.speedup:.2f}x")
+        if args.out:
+            print(f"wrote {args.out}")
+    dropped = report.cold.dropped + report.warm.dropped
+    return 0 if dropped == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -468,6 +553,52 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--json", action="store_true",
                    help="emit machine-readable results")
     v.set_defaults(handler=cmd_bench_vm)
+
+    s = sub.add_parser("serve",
+                       help="run the optimization-as-a-service daemon")
+    s.add_argument("--socket", metavar="PATH",
+                   help="unix socket path (default: auto temp path)")
+    s.add_argument("--tcp", type=int, metavar="PORT",
+                   help="serve on 127.0.0.1:PORT instead of a unix socket")
+    s.add_argument("--jobs", type=int, default=1,
+                   help="compiler worker processes (default: 1)")
+    s.add_argument("--cache", metavar="DIR",
+                   help="shared compilation cache directory")
+    s.add_argument("--max-batch", type=int, default=16,
+                   help="admission batch size ceiling (default: 16)")
+    s.add_argument("--max-delay-ms", type=float, default=10.0,
+                   help="admission window linger in ms (default: 10)")
+    s.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+    s.add_argument("--stats-out", metavar="FILE",
+                   help="write the final stats snapshot as JSON")
+    s.set_defaults(handler=cmd_serve)
+
+    bs = sub.add_parser("bench-serve",
+                        help="cold-vs-warm service benchmark "
+                             "(BENCH_service.json)")
+    bs.add_argument("--requests", type=int, default=1000,
+                    help="requests per phase (default: 1000)")
+    bs.add_argument("--clients", type=int, default=4,
+                    help="concurrent clients (default: 4)")
+    bs.add_argument("--unique", type=int, default=80,
+                    help="unique programs in the pool (default: 80)")
+    bs.add_argument("--seed", type=int, default=2024)
+    bs.add_argument("--zipf", type=float, default=1.1,
+                    help="Zipf skew exponent (default: 1.1)")
+    bs.add_argument("--depth", type=int, default=8,
+                    help="per-client pipeline depth (default: 8)")
+    bs.add_argument("--jobs", type=int, default=1,
+                    help="daemon worker processes (default: 1)")
+    bs.add_argument("--max-batch", type=int, default=16)
+    bs.add_argument("--max-delay-ms", type=float, default=5.0)
+    bs.add_argument("--faults", action="store_true",
+                    help="mix protocol-abuse faults into the stream")
+    bs.add_argument("--out", default="BENCH_service.json",
+                    help="result file (default: BENCH_service.json; "
+                         "'' skips)")
+    bs.add_argument("--json", action="store_true",
+                    help="emit machine-readable results")
+    bs.set_defaults(handler=cmd_bench_serve)
     return parser
 
 

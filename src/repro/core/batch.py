@@ -12,15 +12,22 @@ Caching across processes goes through the cache's *disk* store (the
 memory layer is per-process); worker hit/miss counters are merged into
 the parent's :class:`CacheStats` so a batch run reports one coherent
 hit rate.
+
+Long-running callers (the ``repro serve`` daemon) pass a persistent
+``executor`` so worker processes are spawned once per service lifetime
+instead of once per batch, and ``on_error="capture"`` so one broken
+request degrades to an error slot in the report instead of poisoning
+the whole batch.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from ..isa import BpfProgram, ProgramType
 from ..verifier import DEFAULT_KERNEL, KernelConfig
@@ -32,11 +39,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class CompileJob:
-    """One source program to push through the pipeline."""
+    """One source program to push through the pipeline.
+
+    ``entry=""`` selects the module's first function, mirroring the
+    CLI's default.
+    """
 
     name: str
     source: str
-    entry: str
+    entry: str = ""
     prog_type: ProgramType = ProgramType.XDP
     mcpu: str = "v2"
     ctx_size: int = 64
@@ -44,10 +55,17 @@ class CompileJob:
 
 @dataclass
 class BatchReport:
-    """The outcome of one ``compile_many``/``optimize_many`` run."""
+    """The outcome of one ``compile_many``/``optimize_many`` run.
 
-    programs: List[BpfProgram] = field(default_factory=list)
-    reports: List[MerlinReport] = field(default_factory=list)
+    With ``on_error="capture"`` a failed job leaves ``None`` in
+    ``programs``/``reports`` and the formatted cause in the matching
+    ``errors`` slot; the default ``on_error="raise"`` keeps every slot
+    populated (the first failure propagates instead).
+    """
+
+    programs: List[Optional[BpfProgram]] = field(default_factory=list)
+    reports: List[Optional[MerlinReport]] = field(default_factory=list)
+    errors: List[Optional[str]] = field(default_factory=list)
     jobs: int = 1
     wall_seconds: float = 0.0
     cache_stats: Optional["CacheStats"] = None
@@ -59,12 +77,16 @@ class BatchReport:
         return len(self.programs)
 
     @property
+    def failed(self) -> int:
+        return sum(1 for e in self.errors if e is not None)
+
+    @property
     def ni_original(self) -> int:
-        return sum(r.ni_original for r in self.reports)
+        return sum(r.ni_original for r in self.reports if r is not None)
 
     @property
     def ni_optimized(self) -> int:
-        return sum(r.ni_optimized for r in self.reports)
+        return sum(r.ni_optimized for r in self.reports if r is not None)
 
     @property
     def ni_reduction(self) -> float:
@@ -78,11 +100,16 @@ def _pipeline_spec(pipeline: MerlinPipeline) -> tuple:
             pipeline.verify_after)
 
 
-def _compile_one(spec: tuple, job: CompileJob, cache_dir: Optional[str]
-                 ) -> Tuple[BpfProgram, MerlinReport, Optional[dict]]:
-    """Worker entry point: compile one job, report cache counters."""
-    from ..frontend import compile_source
+def _job_error(exc: Exception) -> str:
+    return "".join(traceback.format_exception_only(type(exc), exc)).strip()
 
+
+def _compile_one(spec: tuple, job: CompileJob, cache_dir: Optional[str],
+                 validate: Union[bool, str] = False,
+                 on_error: str = "raise",
+                 ) -> Tuple[Optional[BpfProgram], Optional[MerlinReport],
+                            Optional[dict], Optional[str]]:
+    """Worker entry point: compile one job, report cache counters."""
     kernel, enabled, verify_after = spec
     pipeline = MerlinPipeline(kernel=kernel, enabled=frozenset(enabled),
                               verify_after=verify_after)
@@ -91,13 +118,29 @@ def _compile_one(spec: tuple, job: CompileJob, cache_dir: Optional[str]
         from ..cache import CompilationCache
 
         cache = CompilationCache(directory=cache_dir)
-    module = compile_source(job.source, job.name)
-    func = module.get(job.entry)
-    program, report = pipeline.compile(
-        func, module, prog_type=job.prog_type, mcpu=job.mcpu,
-        ctx_size=job.ctx_size, cache=cache)
+    try:
+        program, report = _compile_job(pipeline, job, cache, validate)
+    except Exception as exc:
+        if on_error != "capture":
+            raise
+        stats = cache.stats.to_dict() if cache is not None else None
+        return None, None, stats, _job_error(exc)
     stats = cache.stats.to_dict() if cache is not None else None
-    return program, report, stats
+    return program, report, stats, None
+
+
+def _compile_job(pipeline: MerlinPipeline, job: CompileJob,
+                 cache: Optional["CompilationCache"],
+                 validate: Union[bool, str] = False
+                 ) -> Tuple[BpfProgram, MerlinReport]:
+    from ..frontend import compile_source
+
+    module = compile_source(job.source, job.name)
+    entry = job.entry or next(iter(module.functions))
+    func = module.get(entry)
+    return pipeline.compile(
+        func, module, prog_type=job.prog_type, mcpu=job.mcpu,
+        ctx_size=job.ctx_size, cache=cache, validate=validate)
 
 
 def _optimize_one(spec: tuple, program: BpfProgram
@@ -125,6 +168,8 @@ def _merge_worker_stats(cache: Optional["CompilationCache"],
         merged.evictions += entry["evictions"]
         merged.memory_hits += entry["memory_hits"]
         merged.disk_hits += entry["disk_hits"]
+        merged.write_errors += entry.get("write_errors", 0)
+        merged.read_errors += entry.get("read_errors", 0)
     if not seen:
         return None
     if cache is not None:
@@ -151,6 +196,8 @@ def _stats_delta(now: "CacheStats", before: "CacheStats") -> "CacheStats":
         evictions=now.evictions - before.evictions,
         memory_hits=now.memory_hits - before.memory_hits,
         disk_hits=now.disk_hits - before.disk_hits,
+        write_errors=now.write_errors - before.write_errors,
+        read_errors=now.read_errors - before.read_errors,
     )
 
 
@@ -160,8 +207,10 @@ def default_jobs() -> int:
 
 
 def compile_many(pipeline: MerlinPipeline, batch: Sequence[CompileJob],
-                 jobs: int = 1, cache: Optional["CompilationCache"] = None
-                 ) -> BatchReport:
+                 jobs: int = 1, cache: Optional["CompilationCache"] = None,
+                 executor: Optional[ProcessPoolExecutor] = None,
+                 validate: Union[bool, str] = False,
+                 on_error: str = "raise") -> BatchReport:
     """Compile every job, optionally in parallel and/or cached.
 
     Results come back in input order regardless of worker scheduling.
@@ -169,29 +218,43 @@ def compile_many(pipeline: MerlinPipeline, batch: Sequence[CompileJob],
     workers (each worker process opens its own handle on the same
     store); a memory-only cache is used as-is when ``jobs == 1`` and
     ignored by the worker processes otherwise.
+
+    ``executor`` supplies a caller-owned process pool (reused across
+    batches, never shut down here); without one, ``jobs > 1`` spins up
+    a pool per call.  ``validate`` is forwarded to
+    :meth:`MerlinPipeline.compile` per job.  ``on_error="capture"``
+    turns per-job exceptions into ``report.errors`` slots.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture'")
     spec = _pipeline_spec(pipeline)
     started = time.perf_counter()
     report = BatchReport(jobs=jobs)
 
-    if jobs == 1:
+    if jobs == 1 and executor is None:
         before = _snapshot_stats(cache)
-        report = _compile_sequential(pipeline, batch, cache)
+        report = _compile_sequential(pipeline, batch, cache,
+                                     validate=validate, on_error=on_error)
         report.wall_seconds = time.perf_counter() - started
         if cache is not None:
             report.cache_stats = _stats_delta(cache.stats, before)
         return report
 
     cache_dir = cache.directory if cache is not None else None
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(
-            _compile_one, [spec] * len(batch), batch,
-            [cache_dir] * len(batch)))
-    for program, rep, _ in results:
+    n = len(batch)
+    args = ([spec] * n, batch, [cache_dir] * n, [validate] * n,
+            [on_error] * n)
+    if executor is not None:
+        results = list(executor.map(_compile_one, *args))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_compile_one, *args))
+    for program, rep, _, error in results:
         report.programs.append(program)
         report.reports.append(rep)
+        report.errors.append(error)
     report.wall_seconds = time.perf_counter() - started
     report.cache_stats = _merge_worker_stats(cache,
                                              [r[2] for r in results])
@@ -200,18 +263,23 @@ def compile_many(pipeline: MerlinPipeline, batch: Sequence[CompileJob],
 
 def _compile_sequential(pipeline: MerlinPipeline,
                         batch: Sequence[CompileJob],
-                        cache: Optional["CompilationCache"]) -> BatchReport:
-    from ..frontend import compile_source
-
+                        cache: Optional["CompilationCache"],
+                        validate: Union[bool, str] = False,
+                        on_error: str = "raise") -> BatchReport:
     report = BatchReport(jobs=1)
     for job in batch:
-        module = compile_source(job.source, job.name)
-        func = module.get(job.entry)
-        program, rep = pipeline.compile(
-            func, module, prog_type=job.prog_type, mcpu=job.mcpu,
-            ctx_size=job.ctx_size, cache=cache)
+        try:
+            program, rep = _compile_job(pipeline, job, cache, validate)
+        except Exception as exc:
+            if on_error != "capture":
+                raise
+            report.programs.append(None)
+            report.reports.append(None)
+            report.errors.append(_job_error(exc))
+            continue
         report.programs.append(program)
         report.reports.append(rep)
+        report.errors.append(None)
     return report
 
 
@@ -233,5 +301,6 @@ def optimize_many(pipeline: MerlinPipeline,
     for program, rep in results:
         report.programs.append(program)
         report.reports.append(rep)
+        report.errors.append(None)
     report.wall_seconds = time.perf_counter() - started
     return report

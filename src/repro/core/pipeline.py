@@ -46,6 +46,10 @@ class MerlinReport:
     verification: Optional[VerificationResult] = None
     compile_seconds: float = 0.0
     cached: bool = False  # served from a CompilationCache, not recompiled
+    #: the content-addressed cache key this result lives under (None
+    #: when compiled without a cache); lets a service memoize
+    #: source-text -> key and skip the frontend on repeat requests
+    cache_key: Optional[str] = None
     #: per-pass-application equivalence certificates
     #: (:class:`repro.tv.Certificate`), populated by ``validate=`` modes
     certificates: List = field(default_factory=list)
@@ -168,21 +172,31 @@ class MerlinPipeline:
         ``report.certificates``; with ``validate=True`` a non-certified
         application raises
         :class:`repro.tv.TranslationValidationError`, while
-        ``validate="report"`` only records the verdicts.  Validation
-        bypasses *cache* — a cached result carries no witnesses to
-        certify.
+        ``validate="report"`` only records the verdicts.
+
+        Validation composes with *cache*: certificates are stored in
+        the cached report (under a key that folds in the validate
+        flag, so validated and unvalidated entries never mix), and a
+        warm validated request replays the stored verdicts instead of
+        re-certifying — with ``validate=True`` a cached refuted
+        certificate still raises, exactly like a fresh one.
         """
         key = None
-        if cache is not None and not validate:
+        if cache is not None:
             key = cache.key_for_function(
                 func, module, enabled=self.enabled, kernel=self.kernel,
                 prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-                verify_after=self.verify_after,
+                verify_after=self.verify_after, validate=bool(validate),
             )
             hit = cache.get(key)
             if hit is not None:
                 program, report = hit
                 report.cached = True
+                report.cache_key = key
+                if validate is True:
+                    from ..tv import raise_on_alarm
+
+                    raise_on_alarm(report.certificates)
                 return program, report
 
         recorder = None
@@ -212,6 +226,7 @@ class MerlinPipeline:
             ni_optimized=program.ni,
             pass_stats=stats,
             compile_seconds=elapsed,
+            cache_key=key,
         )
         if recorder is not None:
             report.certificates = self._certify(

@@ -36,6 +36,11 @@ from .overhead import (
     run_postmark,
 )
 from .report import pct, render_series, render_table
+from .serviceperf import (
+    PhaseResult,
+    ServiceBenchReport,
+    bench_service,
+)
 from .vmperf import (
     EngineMeasurement,
     SuitePerf,
@@ -81,6 +86,9 @@ __all__ = [
     "pct",
     "render_series",
     "render_table",
+    "PhaseResult",
+    "ServiceBenchReport",
+    "bench_service",
     "EngineMeasurement",
     "SuitePerf",
     "VM_SUITES",

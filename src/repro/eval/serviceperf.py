@@ -1,0 +1,159 @@
+"""Service-mode benchmark: cold vs warm throughput under skewed load.
+
+Starts one ``repro.serve`` daemon, drives it with the load generator's
+Zipf-skewed tenant traffic (:mod:`repro.serve.loadgen`) twice — once
+against an empty cache (*cold*) and once with the exact same request
+stream against the now-warm cache (*warm*) — and reports
+programs/sec, client-observed latency percentiles, and cache hit
+rates for both phases.  ``repro bench-serve`` drives this and emits
+``BENCH_service.json``, the service-scaling trajectory every future
+scaling PR regresses against.
+
+The pool is prefiltered through a full local compile (setup cost,
+outside both timed phases), so every request in both phases is
+expected to succeed; the cold run still enjoys within-run cache hits
+on the Zipf head — that is the point of the skew — so the headline
+``speedup`` understates the raw compile-vs-cache-hit ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..serve.daemon import DaemonThread, ServeConfig
+from ..serve.loadgen import FaultPlan, LoadResult, build_pool, run_load
+
+
+@dataclass
+class PhaseResult:
+    """One timed load phase (cold or warm)."""
+
+    phase: str
+    requests: int
+    ok: int
+    dropped: int
+    cached: int
+    wall_seconds: float
+    programs_per_second: float
+    latency_ms: dict
+    hit_rate: float
+    errors: dict
+
+    @classmethod
+    def from_load(cls, phase: str, load: LoadResult,
+                  hit_rate: float) -> "PhaseResult":
+        d = load.to_dict()
+        return cls(phase=phase, requests=d["sent"], ok=d["ok"],
+                   dropped=d["dropped"], cached=d["cached"],
+                   wall_seconds=d["wall_seconds"],
+                   programs_per_second=d["requests_per_second"],
+                   latency_ms=d["latency_ms"], hit_rate=hit_rate,
+                   errors=d["errors"])
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "requests": self.requests,
+            "ok": self.ok,
+            "dropped": self.dropped,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "programs_per_second": self.programs_per_second,
+            "latency_ms": self.latency_ms,
+            "hit_rate": round(self.hit_rate, 4),
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class ServiceBenchReport:
+    """``BENCH_service.json``: the service-scaling trajectory entry."""
+
+    config: dict
+    cold: PhaseResult = None
+    warm: PhaseResult = None
+    daemon_stats: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.cold is None or self.warm is None \
+                or not self.cold.programs_per_second:
+            return 0.0
+        return self.warm.programs_per_second / self.cold.programs_per_second
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "service",
+            "config": self.config,
+            "cold": self.cold.to_dict() if self.cold else None,
+            "warm": self.warm.to_dict() if self.warm else None,
+            "warm_over_cold_speedup": round(self.speedup, 2),
+            "daemon_stats": self.daemon_stats,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def bench_service(requests: int = 1000, clients: int = 4,
+                  unique: int = 80, seed: int = 2024,
+                  zipf_s: float = 1.1, depth: int = 8, jobs: int = 1,
+                  max_batch: int = 16, max_delay: float = 0.005,
+                  faults: Optional[FaultPlan] = None,
+                  progress: Optional[Callable[[str], None]] = None,
+                  ) -> ServiceBenchReport:
+    """Run the cold-vs-warm service benchmark; see the module docs.
+
+    *requests* is the total per phase, split evenly across *clients*
+    (each client replays its own deterministic Zipf stream over a pool
+    of *unique* distinct generated programs).
+    """
+    say = progress or (lambda line: None)
+    per_client = max(1, requests // clients)
+    config = ServeConfig(jobs=jobs, max_batch=max_batch,
+                         max_delay=max_delay)
+    report = ServiceBenchReport(config={
+        "requests": per_client * clients,
+        "clients": clients,
+        "unique_programs": unique,
+        "seed": seed,
+        "zipf_s": zipf_s,
+        "pipeline_depth": depth,
+        "jobs": jobs,
+        "max_batch": max_batch,
+        "max_delay_ms": round(max_delay * 1000, 3),
+    })
+
+    say(f"generating pool: {unique} unique programs (seed {seed})")
+    pool = build_pool(unique, seed=seed, prefilter="full")
+
+    with DaemonThread(config) as daemon:
+        say(f"cold phase: {per_client * clients} requests, "
+            f"{clients} client(s)")
+        cold = run_load(daemon.address, pool, requests=per_client,
+                        clients=clients, seed=seed, zipf_s=zipf_s,
+                        depth=depth, faults=faults)
+        cold_stats = daemon.daemon.cache.stats
+        cold_rate = cold_stats.hit_rate
+        report.cold = PhaseResult.from_load("cold", cold, cold_rate)
+
+        say(f"warm phase: same stream against the warm cache")
+        lookups_before = cold_stats.lookups
+        hits_before = cold_stats.hits
+        warm = run_load(daemon.address, pool, requests=per_client,
+                        clients=clients, seed=seed, zipf_s=zipf_s,
+                        depth=depth, faults=faults)
+        stats = daemon.daemon.cache.stats
+        warm_lookups = stats.lookups - lookups_before
+        warm_rate = ((stats.hits - hits_before) / warm_lookups
+                     if warm_lookups else 0.0)
+        report.warm = PhaseResult.from_load("warm", warm, warm_rate)
+        report.daemon_stats = daemon.daemon.snapshot()
+    return report

@@ -1,0 +1,77 @@
+"""repro.serve — optimization-as-a-service.
+
+A long-running asyncio daemon (``repro serve``) that accepts
+compile/validate requests over a local socket (JSON lines),
+admission-batches them into the parallel batch compiler, shares one
+warm compilation cache across every client and worker process, streams
+per-request results back, and reports hit-rate / queue depth /
+latency-percentile / throughput metrics via a ``stats`` endpoint.
+
+::
+
+    from repro.serve import DaemonThread, ServeClient, ServeConfig
+
+    with DaemonThread(ServeConfig(max_delay=0.005)) as daemon:
+        with ServeClient(daemon.address) as client:
+            result = client.compile("u64 f(u8* ctx) { return 7; }")
+            print(result["result"]["ni_optimized"])
+
+The load generator (:mod:`repro.serve.loadgen`) synthesizes
+Zipf-skewed tenant traffic from the fuzz generators, with optional
+fault injection; ``repro bench-serve`` drives it to produce
+``BENCH_service.json`` (see :mod:`repro.eval.serviceperf`).
+"""
+
+from .client import Address, ServeClient, ServeError
+from .daemon import DaemonThread, OptimizationDaemon, ServeConfig
+from .loadgen import (
+    FaultPlan,
+    LoadResult,
+    PoolProgram,
+    build_pool,
+    run_load,
+    zipf_stream,
+)
+from .metrics import LatencyReservoir, ServiceStats, percentile
+from .protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    MAX_SOURCE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode,
+    decode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = [
+    "Address",
+    "DaemonThread",
+    "ERROR_CODES",
+    "FaultPlan",
+    "LatencyReservoir",
+    "LoadResult",
+    "MAX_LINE_BYTES",
+    "MAX_SOURCE_BYTES",
+    "OptimizationDaemon",
+    "PROTOCOL_VERSION",
+    "PoolProgram",
+    "ProtocolError",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServiceStats",
+    "build_pool",
+    "decode",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "percentile",
+    "run_load",
+    "zipf_stream",
+]

@@ -1,0 +1,333 @@
+"""Load generator: synthetic tenant traffic for the serve daemon.
+
+Request streams are synthesized from the fuzz generators
+(:mod:`repro.fuzz.generator`): a pool of *unique* programs is drawn at
+a fixed seed, then each request picks a pool entry under a
+Zipf-skewed distribution — a few programs are requested over and over
+(the hot tenants every fleet has) while the tail stays cold.  That
+skew is what makes the shared warm cache matter: the hot head should
+hit on every repeat, so a healthy daemon shows a cache hit-rate near
+``1 - unique/requests`` on a long run.
+
+Fault injection (:class:`FaultPlan`) mixes protocol abuse into the
+stream — malformed JSON lines, oversized programs, unknown ops, and
+abrupt client disconnects mid-stream — so graceful-degradation paths
+are exercised under load, not just in unit tests.
+
+Everything is deterministic under a fixed seed: the pool, the Zipf
+assignment, and every fault decision derive from per-client
+``random.Random`` instances.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..fuzz.generator import SourceGenerator
+from . import protocol
+from .client import Address, ServeClient
+
+
+@dataclass(frozen=True)
+class PoolProgram:
+    """One unique program in the traffic pool."""
+
+    name: str
+    source: str
+    entry: str
+    ctx_size: int = 64
+    prog_type: str = "tracepoint"
+    mcpu: str = "v2"
+
+    def payload(self, validate=False) -> dict:
+        out = {"op": "compile", "name": self.name, "source": self.source,
+               "entry": self.entry, "prog_type": self.prog_type,
+               "mcpu": self.mcpu, "ctx_size": self.ctx_size}
+        if validate:
+            out["validate"] = validate
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-request fault probabilities (independent draws)."""
+
+    malformed: float = 0.0    # send a line that is not JSON
+    oversized: float = 0.0    # send a source beyond MAX_SOURCE_BYTES
+    unknown_op: float = 0.0   # send a valid line with a bogus op
+    disconnect: float = 0.0   # hang up mid-stream, then reconnect
+
+    @property
+    def any(self) -> bool:
+        return any((self.malformed, self.oversized, self.unknown_op,
+                    self.disconnect))
+
+
+@dataclass
+class ClientResult:
+    """One worker's tally."""
+
+    sent: int = 0
+    received: int = 0
+    ok: int = 0
+    cached: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)
+    faults: Dict[str, int] = field(default_factory=dict)
+    disconnects: int = 0
+    latencies: List[float] = field(default_factory=list)
+    failure: Optional[str] = None
+
+    def count_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+    def count_fault(self, kind: str) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+
+
+@dataclass
+class LoadResult:
+    """The merged outcome of one load run."""
+
+    clients: List[ClientResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def sent(self) -> int:
+        return sum(c.sent for c in self.clients)
+
+    @property
+    def received(self) -> int:
+        return sum(c.received for c in self.clients)
+
+    @property
+    def ok(self) -> int:
+        return sum(c.ok for c in self.clients)
+
+    @property
+    def cached(self) -> int:
+        return sum(c.cached for c in self.clients)
+
+    @property
+    def dropped(self) -> int:
+        """Requests that were fully sent and awaited but never got a
+        response (must be zero for a healthy daemon)."""
+        return self.sent - self.received
+
+    @property
+    def errors(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for code, n in c.errors.items():
+                merged[code] = merged.get(code, 0) + n
+        return merged
+
+    @property
+    def faults(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for kind, n in c.faults.items():
+                merged[kind] = merged.get(kind, 0) + n
+        return merged
+
+    @property
+    def latencies(self) -> List[float]:
+        out: List[float] = []
+        for c in self.clients:
+            out.extend(c.latencies)
+        return out
+
+    @property
+    def failures(self) -> List[str]:
+        return [c.failure for c in self.clients if c.failure]
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.received / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        from .metrics import percentile
+
+        lat = sorted(self.latencies)
+        return {
+            "sent": self.sent,
+            "received": self.received,
+            "ok": self.ok,
+            "cached": self.cached,
+            "dropped": self.dropped,
+            "errors": self.errors,
+            "faults": self.faults,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "requests_per_second": round(self.requests_per_second, 2),
+            "latency_ms": {
+                "p50": round(percentile(lat, 50) * 1000, 3),
+                "p90": round(percentile(lat, 90) * 1000, 3),
+                "p99": round(percentile(lat, 99) * 1000, 3),
+            },
+        }
+
+
+# ---------------------------------------------------------------- pool
+def build_pool(unique: int, seed: int = 0,
+               prefilter: Optional[str] = "frontend",
+               ctx_size: int = 64) -> List[PoolProgram]:
+    """Draw *unique* distinct mini-C programs from the fuzz source
+    generator.
+
+    ``prefilter="frontend"`` keeps only programs the frontend parses
+    (cheap); ``prefilter="full"`` keeps only programs the whole
+    pipeline compiles (slower, used by the benchmark harness so every
+    request is expected to succeed); ``prefilter=None`` keeps
+    everything — the daemon's compile-error path then sees traffic too.
+    """
+    pool: List[PoolProgram] = []
+    attempt = 0
+    while len(pool) < unique and attempt < unique * 40:
+        gen_seed = seed * 1_000_003 + attempt
+        attempt += 1
+        case = SourceGenerator(gen_seed).generate()
+        candidate = PoolProgram(
+            name=f"tenant_{len(pool)}", source=case.text, entry=case.name,
+            ctx_size=max(case.ctx_size, ctx_size))
+        if prefilter is not None:
+            try:
+                from ..frontend import compile_source
+
+                module = compile_source(case.text, candidate.name)
+                if prefilter == "full":
+                    from ..core.pipeline import MerlinPipeline
+
+                    MerlinPipeline().compile(
+                        module.get(case.name), module,
+                        ctx_size=candidate.ctx_size)
+            except Exception:
+                continue
+        pool.append(candidate)
+    if len(pool) < unique:
+        raise RuntimeError(
+            f"could only generate {len(pool)}/{unique} pool programs")
+    return pool
+
+
+def zipf_weights(n: int, s: float = 1.1) -> List[float]:
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def zipf_stream(rng: random.Random, n_items: int, count: int,
+                s: float = 1.1) -> List[int]:
+    """*count* Zipf-skewed pool indices (rank 0 is the hottest)."""
+    weights = zipf_weights(n_items, s)
+    return rng.choices(range(n_items), weights=weights, k=count)
+
+
+# --------------------------------------------------------------- worker
+_MALFORMED_LINES = (
+    b"this is not json\n",
+    b"{\"op\": \"compile\", \"source\": \n",
+    b"[1, 2, 3]\n",
+    b"\xff\xfe invalid utf8 \xff\n",
+)
+
+
+def _run_client(address: Address, pool: Sequence[PoolProgram],
+                indices: Sequence[int], faults: FaultPlan,
+                rng: random.Random, result: ClientResult,
+                depth: int = 1, validate=False) -> None:
+    """One synchronous worker: stream requests, tally responses.
+
+    ``depth`` > 1 pipelines that many requests before reading the
+    responses back (the daemon's arrival-order guarantee makes the
+    accounting trivial).
+    """
+    client = ServeClient(address)
+    window: List[float] = []  # send timestamps of in-flight requests
+
+    def drain() -> None:
+        while window:
+            started = window.pop(0)
+            response = client.recv()
+            result.received += 1
+            result.latencies.append(time.monotonic() - started)
+            if response.get("ok"):
+                result.ok += 1
+                if response["result"].get("cached"):
+                    result.cached += 1
+            else:
+                result.count_error(response["error"]["code"])
+
+    try:
+        for index in indices:
+            if faults.any:
+                if rng.random() < faults.disconnect:
+                    # vanish mid-stream: any in-flight responses are
+                    # intentionally lost, then come back for more
+                    result.count_fault("disconnect")
+                    result.disconnects += 1
+                    result.sent -= len(window)  # never awaited
+                    window.clear()
+                    client.abort()
+                    client = ServeClient(address)
+                if rng.random() < faults.malformed:
+                    result.count_fault("malformed")
+                    client.send_raw(rng.choice(_MALFORMED_LINES))
+                    window.append(time.monotonic())
+                    result.sent += 1
+                if rng.random() < faults.oversized:
+                    result.count_fault("oversized")
+                    big = ("u64 f(u8* ctx) { return 1; } //"
+                           + "x" * protocol.MAX_SOURCE_BYTES)
+                    client.send({"op": "compile", "source": big})
+                    window.append(time.monotonic())
+                    result.sent += 1
+                if rng.random() < faults.unknown_op:
+                    result.count_fault("unknown_op")
+                    client.send({"op": "transmogrify"})
+                    window.append(time.monotonic())
+                    result.sent += 1
+            client.send(pool[index].payload(validate=validate))
+            window.append(time.monotonic())
+            result.sent += 1
+            if len(window) >= depth:
+                drain()
+        drain()
+    except Exception as exc:
+        result.failure = f"{type(exc).__name__}: {exc}"
+    finally:
+        try:
+            client.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------- run
+def run_load(address: Address, pool: Sequence[PoolProgram],
+             requests: int = 200, clients: int = 4, seed: int = 0,
+             zipf_s: float = 1.1, depth: int = 4,
+             faults: Optional[FaultPlan] = None,
+             validate=False) -> LoadResult:
+    """Drive *clients* concurrent workers, *requests* each, against a
+    running daemon.  Deterministic under (*seed*, *pool*)."""
+    faults = faults or FaultPlan()
+    results = [ClientResult() for _ in range(clients)]
+    threads = []
+    started = time.perf_counter()
+    for worker in range(clients):
+        rng = random.Random(seed * 7_919 + worker)
+        indices = zipf_stream(rng, len(pool), requests, s=zipf_s)
+        thread = threading.Thread(
+            target=_run_client,
+            args=(address, pool, indices, faults, rng, results[worker]),
+            kwargs=dict(depth=depth, validate=validate),
+            name=f"loadgen-{worker}", daemon=True)
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    out = LoadResult(clients=results,
+                     wall_seconds=time.perf_counter() - started)
+    return out

@@ -76,8 +76,9 @@ class TestKeyComposition:
         dict(mcpu="v3"),
         dict(ctx_size=24),
         dict(verify_after=True),
+        dict(validate=True),
     ], ids=["enabled", "kernel", "prog_type", "mcpu", "ctx_size",
-            "verify_after"])
+            "verify_after", "validate"])
     def test_each_config_field_invalidates(self, override):
         func, module = build()
         assert make_key(func, module) != make_key(func, module, **override)
@@ -218,6 +219,89 @@ class TestStore:
         _, rep = compile_with(fresh)  # falls back to compiling
         assert rep.cached is False
         assert fresh.stats.misses == 1
+        assert fresh.stats.read_errors == 1
+
+    def test_write_failure_degrades_to_memory(self, tmp_path):
+        """The store absorbs disk-write failures (a long-running
+        service losing its cache dir must not start crashing)."""
+        import shutil
+
+        store_dir = tmp_path / "store"
+        cache = CompilationCache(directory=str(store_dir))
+        compile_with(cache)
+        shutil.rmtree(store_dir)
+        store_dir.write_text("a file where the directory was")
+        _, rep = compile_with(cache, OTHER_SOURCE, "g")  # write fails
+        assert rep.cached is False
+        assert cache.stats.write_errors == 1
+        # the memory tier still took the entry
+        _, again = compile_with(cache, OTHER_SOURCE, "g")
+        assert again.cached is True
+
+
+class TestValidatedCompiles:
+    """``compile(validate=...)`` participates in the cache: certificate
+    verdicts are cached alongside the bytecode, and a validated hit is
+    indistinguishable from a validated miss."""
+
+    def compile_validated(self, cache, validate="report"):
+        func, module = build()
+        return MerlinPipeline().compile(
+            func, module, prog_type=ProgramType.TRACEPOINT, ctx_size=64,
+            cache=cache, validate=validate)
+
+    def test_validated_compile_is_cached(self):
+        cache = CompilationCache()
+        self.compile_validated(cache)
+        assert cache.stats.stores == 1
+        _, rep = self.compile_validated(cache)
+        assert rep.cached is True
+        assert cache.stats.hits == 1
+
+    def test_validated_hit_equals_validated_miss(self):
+        cache = CompilationCache()
+        miss_prog, miss_rep = self.compile_validated(cache)
+        hit_prog, hit_rep = self.compile_validated(cache)
+        assert hit_rep.cached is True
+        assert hit_prog.insns == miss_prog.insns
+        assert hit_rep.ni_optimized == miss_rep.ni_optimized
+        # the certificate verdicts come back with the entry
+        assert len(hit_rep.certificates) == len(miss_rep.certificates)
+        assert [(c.pass_name, c.status) for c in hit_rep.certificates] \
+            == [(c.pass_name, c.status) for c in miss_rep.certificates]
+        assert all(c.certified for c in hit_rep.certificates)
+
+    def test_strict_validate_hits_too(self):
+        cache = CompilationCache()
+        self.compile_validated(cache, validate=True)
+        _, rep = self.compile_validated(cache, validate=True)
+        assert rep.cached is True
+        assert rep.certificates
+
+    def test_plain_and_validated_entries_are_distinct(self):
+        """A plain compile must not satisfy a validated request (its
+        entry has no certificates) and vice versa."""
+        cache = CompilationCache()
+        _, plain = self.compile_validated(cache, validate=False)
+        assert plain.certificates == []
+        _, validated = self.compile_validated(cache)
+        assert validated.cached is False       # key differs
+        assert validated.certificates
+        # both entries now live side by side
+        assert cache.stats.stores == 2
+        _, plain_again = self.compile_validated(cache, validate=False)
+        assert plain_again.cached is True
+        assert plain_again.certificates == []
+
+    def test_validated_entry_persists_to_disk(self, tmp_path):
+        first = CompilationCache(directory=str(tmp_path))
+        _, cold = self.compile_validated(first)
+        second = CompilationCache(directory=str(tmp_path))
+        _, warm = self.compile_validated(second)
+        assert warm.cached is True
+        assert second.stats.disk_hits == 1
+        assert [(c.pass_name, c.status) for c in warm.certificates] \
+            == [(c.pass_name, c.status) for c in cold.certificates]
 
 
 @pytest.mark.fuzz

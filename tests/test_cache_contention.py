@@ -1,0 +1,201 @@
+"""Cross-process cache contention: many writers, one sharded store.
+
+The daemon, its worker pool, and any number of batch-compiler pools
+may all share one on-disk cache directory.  The store's contract under
+that contention: no torn/corrupt entries (temp file + ``os.replace``),
+no lost updates (after the dust settles a warm pass hits on every
+key), and no stale reads through the memory LRU (an evicted entry
+re-read from disk is byte-identical to the original result).
+"""
+
+import concurrent.futures
+import os
+import pickle
+import threading
+
+from repro.cache import CompilationCache
+from repro.core import CompileJob, MerlinPipeline
+from repro.isa import ProgramType
+from repro.serve import DaemonThread, ServeClient, ServeConfig
+
+SOURCES = [
+    ("alpha", """
+u64 alpha(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    return a + 2 + 3;
+}
+"""),
+    ("beta", """
+u64 beta(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u64 b = *(u64*)(ctx + 8);
+    return (a & 0xfff) ^ (b >> 2);
+}
+"""),
+    ("gamma", """
+u64 gamma(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u64 acc = 1;
+    if (a > 4) { acc = acc + a; }
+    return acc;
+}
+"""),
+    ("delta", """
+u64 delta(u8* ctx) {
+    u32 a = *(u32*)(ctx + 0);
+    u32 b = (u32)a * 7;
+    return (u64)b + 9;
+}
+"""),
+]
+
+BATCH = [
+    CompileJob(name=name, source=source, entry=name,
+               prog_type=ProgramType.TRACEPOINT, mcpu="v2", ctx_size=64)
+    for name, source in SOURCES
+]
+
+
+def signature(report):
+    return [(prog.insns, rep.ni_original, rep.ni_optimized)
+            for prog, rep in report]
+
+
+def every_disk_entry(directory):
+    """Yield every sharded ``.pkl`` entry, unpickled (raises on a torn
+    or corrupt file — the corruption check)."""
+    for root, _dirs, files in os.walk(directory):
+        for filename in files:
+            path = os.path.join(root, filename)
+            assert filename.endswith(".pkl"), f"stray file {path}"
+            with open(path, "rb") as handle:
+                yield path, pickle.loads(handle.read())
+
+
+class TestConcurrentPools:
+    def test_two_pools_race_one_store(self, tmp_path):
+        """Two multi-process batch compiles race on one directory: both
+        return reference results and every disk entry stays readable."""
+        reference = MerlinPipeline().compile_many(BATCH)
+        results = {}
+
+        def run(tag):
+            cache = CompilationCache(directory=str(tmp_path))
+            results[tag] = MerlinPipeline().compile_many(
+                BATCH, jobs=2, cache=cache)
+
+        threads = [threading.Thread(target=run, args=(tag,))
+                   for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert signature(results["a"]) == signature(reference)
+        assert signature(results["b"]) == signature(reference)
+        entries = list(every_disk_entry(tmp_path))
+        assert len(entries) == len(BATCH)  # one entry per key, no dupes
+        for _path, payload in entries:
+            program, report = payload
+            assert program.ni == report.ni_optimized
+
+    def test_no_lost_updates_after_contention(self, tmp_path):
+        def run():
+            cache = CompilationCache(directory=str(tmp_path))
+            MerlinPipeline().compile_many(BATCH, jobs=2, cache=cache)
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # a fresh process-equivalent reader hits on every key: nothing
+        # was lost or torn by the concurrent writers
+        fresh = CompilationCache(directory=str(tmp_path))
+        warm = MerlinPipeline().compile_many(BATCH, cache=fresh)
+        assert warm.cache_stats.hits == len(BATCH)
+        assert warm.cache_stats.misses == 0
+        assert all(rep.cached for rep in warm.reports)
+
+    def test_daemon_and_pools_share_one_store(self, tmp_path):
+        """The service daemon (with its own worker pool) and an
+        out-of-band batch compile pool hammer the same store while
+        clients stream requests — everyone sees reference results."""
+        reference = MerlinPipeline().compile_many(BATCH)
+        config = ServeConfig(cache_dir=str(tmp_path), jobs=2,
+                             max_batch=8, max_delay=0.01)
+        pool_result = {}
+
+        def out_of_band():
+            cache = CompilationCache(directory=str(tmp_path))
+            pool_result["batch"] = MerlinPipeline().compile_many(
+                BATCH, jobs=2, cache=cache)
+
+        with DaemonThread(config) as handle:
+            racer = threading.Thread(target=out_of_band)
+            racer.start()
+            with ServeClient(handle.address) as client:
+                responses = client.compile_pipelined([
+                    {"op": "compile", "name": name, "source": source,
+                     "entry": name, "prog_type": "tracepoint",
+                     "ctx_size": 64}
+                    for name, source in SOURCES] * 3)
+            racer.join()
+            stats = handle.daemon.snapshot()
+
+        assert all(r["ok"] for r in responses), responses
+        for (name, _source), response, (_prog, rep) in zip(
+                SOURCES, responses, reference):
+            assert response["result"]["ni_optimized"] == rep.ni_optimized
+        assert signature(pool_result["batch"]) == signature(reference)
+        assert stats["cache"]["write_errors"] == 0
+        assert stats["cache"]["read_errors"] == 0
+        for _path, (program, report) in every_disk_entry(tmp_path):
+            assert program.ni == report.ni_optimized
+
+
+class TestLruStaleness:
+    def test_evicted_entry_rereads_identically_from_disk(self, tmp_path):
+        """A memory-LRU eviction must never serve a stale or divergent
+        result: the disk re-read equals the original compile."""
+        cache = CompilationCache(directory=str(tmp_path),
+                                 max_memory_entries=2)
+        pipeline = MerlinPipeline()
+        cold = pipeline.compile_many(BATCH, cache=cache)  # 4 > 2 evicts
+        assert cache.stats.evictions >= 2
+
+        warm = pipeline.compile_many(BATCH, cache=cache)
+        assert warm.cache_stats.hits == len(BATCH)
+        assert warm.cache_stats.disk_hits >= 2  # evicted keys re-read
+        assert signature(warm) == signature(cold)
+
+    def test_memory_only_eviction_recompiles_consistently(self):
+        cache = CompilationCache(max_memory_entries=2)
+        pipeline = MerlinPipeline()
+        cold = pipeline.compile_many(BATCH, cache=cache)
+        warm = pipeline.compile_many(BATCH, cache=cache)
+        # with no disk tier the evicted keys genuinely recompile; the
+        # results must still be identical
+        assert signature(warm) == signature(cold)
+
+
+class TestSharedExecutor:
+    def test_caller_owned_executor_survives_batches(self, tmp_path):
+        """The daemon reuses one persistent pool across dispatches; the
+        batch API must not shut a caller-owned executor down."""
+        import multiprocessing
+
+        from repro.core.batch import compile_many
+
+        cache = CompilationCache(directory=str(tmp_path))
+        pipeline = MerlinPipeline()
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=2,
+                mp_context=multiprocessing.get_context("spawn")) as pool:
+            first = compile_many(pipeline, BATCH, jobs=2, cache=cache,
+                                 executor=pool)
+            second = compile_many(pipeline, BATCH, jobs=2, cache=cache,
+                                  executor=pool)
+        assert signature(first) == signature(second)
+        assert second.cache_stats.hits == len(BATCH)

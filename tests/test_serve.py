@@ -1,0 +1,502 @@
+"""Tests for the optimization-as-a-service daemon (repro.serve).
+
+Covers the wire protocol (parse/encode/error codes), the daemon's
+request/response semantics — most importantly that admission-batched
+results are identical to sequential one-at-a-time compiles — response
+ordering under pipelining and concurrency, error-response shapes, and
+clean shutdown with in-flight requests drained.
+"""
+
+import threading
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.core import MerlinPipeline
+from repro.isa import ProgramType, disassemble
+from repro.serve import (
+    DaemonThread,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    protocol,
+)
+from repro.serve.protocol import ProtocolError, parse_request
+
+SOURCES = [
+    ("fold", """
+u64 fold(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u64 b = 2 + 3;
+    return a + b;
+}
+"""),
+    ("mask", """
+u64 mask(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u64 b = *(u64*)(ctx + 8);
+    return (a & 0xff) + (b >> 3);
+}
+"""),
+    ("branchy", """
+u64 branchy(u8* ctx) {
+    u64 a = *(u64*)(ctx + 0);
+    u64 acc = 0;
+    if (a > 7) { acc = acc + a; }
+    if (a > 70) { acc = acc * 3; }
+    return acc;
+}
+"""),
+    ("narrow", """
+u64 narrow(u8* ctx) {
+    u32 a = *(u32*)(ctx + 0);
+    u32 b = (u32)a * 5;
+    return (u64)b;
+}
+"""),
+]
+
+
+def payload(name, source, **extra):
+    out = {"op": "compile", "name": name, "source": source, "entry": name,
+           "prog_type": "tracepoint", "ctx_size": 64}
+    out.update(extra)
+    return out
+
+
+def reference_compile(name, source, mcpu="v2", ctx_size=64):
+    """What the daemon must return: a direct in-process compile."""
+    module = compile_source(source, name)
+    return MerlinPipeline().compile(
+        module.get(name), module, prog_type=ProgramType.TRACEPOINT,
+        mcpu=mcpu, ctx_size=ctx_size)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    config = ServeConfig(max_batch=8, max_delay=0.02)
+    with DaemonThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(daemon):
+    handle = ServeClient(daemon.address)
+    yield handle
+    handle.close()
+
+
+# ==================================================== protocol (no I/O)
+class TestProtocol:
+    def test_roundtrip_all_fields(self):
+        line = protocol.encode({
+            "id": 7, "op": "compile", "name": "p", "source": "u64 f...",
+            "entry": "f", "prog_type": "xdp", "mcpu": "v3",
+            "ctx_size": 128, "kernel": "5.19",
+            "passes": ["cc", "po"], "validate": "report",
+            "asm": True})
+        request = parse_request(line)
+        assert request.id == 7
+        assert request.name == "p"
+        assert request.entry == "f"
+        assert request.prog_type is ProgramType.XDP
+        assert request.mcpu == "v3"
+        assert request.ctx_size == 128
+        assert request.kernel == "5.19"
+        assert request.passes == frozenset({"cc", "po"})
+        assert request.validate == "report"
+        assert request.asm is True
+
+    def test_defaults(self):
+        request = parse_request(b'{"op": "compile", "source": "x"}')
+        assert request.id is None
+        assert request.name == "anon"
+        assert request.mcpu == "v2"
+        assert request.validate is False
+        assert request.passes is None
+
+    def test_validate_op_defaults_to_report(self):
+        request = parse_request(b'{"op": "validate", "source": "x"}')
+        assert request.validate == "report"
+
+    def test_control_ops_need_no_source(self):
+        for op in ("ping", "stats", "shutdown"):
+            assert parse_request(f'{{"op": "{op}"}}'.encode()).op == op
+
+    @pytest.mark.parametrize("line", [
+        b"not json at all",
+        b"[1, 2, 3]",
+        b"\xff\xfe bad utf8",
+        b'{"op": "compile", "source": ',
+    ])
+    def test_bad_json(self, line):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(line)
+        assert info.value.code == "bad-json"
+
+    @pytest.mark.parametrize("obj", [
+        {"source": "x"},                                    # missing op
+        {"op": "compile"},                                  # missing source
+        {"op": "compile", "source": "   "},                 # blank source
+        {"op": "compile", "source": "x", "mcpu": "v9"},
+        {"op": "compile", "source": "x", "prog_type": "nope"},
+        {"op": "compile", "source": "x", "ctx_size": -1},
+        {"op": "compile", "source": "x", "ctx_size": True},
+        {"op": "compile", "source": "x", "kernel": "2.4"},
+        {"op": "compile", "source": "x", "passes": "all"},
+        {"op": "compile", "source": "x", "passes": ["bogus_pass"]},
+        {"op": "compile", "source": "x", "validate": "maybe"},
+        {"op": "compile", "source": "x", "asm": "yes"},
+        {"op": "compile", "source": "x", "name": 3},
+    ])
+    def test_bad_request(self, obj):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(protocol.encode(obj))
+        assert info.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b'{"op": "transmogrify"}')
+        assert info.value.code == "unknown-op"
+
+    def test_oversized_source(self):
+        big = "x" * (protocol.MAX_SOURCE_BYTES + 1)
+        with pytest.raises(ProtocolError) as info:
+            parse_request(protocol.encode({"op": "compile", "source": big}))
+        assert info.value.code == "oversized"
+
+    def test_error_id_preserved(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(b'{"id": 42, "op": "compile"}')
+        assert info.value.request_id == 42
+        response = protocol.error_from(info.value)
+        assert response == {"id": 42, "ok": False,
+                            "error": {"code": "bad-request",
+                                      "message": info.value.message}}
+
+    def test_config_key_groups_pipeline_config(self):
+        base = parse_request(protocol.encode(
+            {"op": "compile", "source": "x"}))
+        same = parse_request(protocol.encode(
+            {"op": "compile", "source": "y", "mcpu": "v3",
+             "ctx_size": 32}))
+        assert base.config_key == same.config_key  # mcpu/ctx don't split
+        other_kernel = parse_request(protocol.encode(
+            {"op": "compile", "source": "x", "kernel": "4.15"}))
+        assert other_kernel.config_key != base.config_key
+        report = parse_request(protocol.encode(
+            {"op": "compile", "source": "x", "validate": "report"}))
+        strict = parse_request(protocol.encode(
+            {"op": "compile", "source": "x", "validate": True}))
+        # True and "report" have different failure semantics: never
+        # batch them into one compile_many call
+        assert report.config_key != strict.config_key
+
+
+# ================================================== daemon round trips
+class TestRoundTrip:
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["ok"] is True
+        assert response["result"]["pong"] is True
+        assert response["result"]["protocol_version"] == \
+            protocol.PROTOCOL_VERSION
+
+    def test_compile_matches_local_pipeline(self, client):
+        name, source = SOURCES[0]
+        program, report = reference_compile(name, source)
+        response = client.compile(source, name=name, entry=name,
+                                  prog_type="tracepoint", asm=True)
+        assert response["ok"] is True
+        result = response["result"]
+        assert result["name"] == name
+        assert result["ni_original"] == report.ni_original
+        assert result["ni_optimized"] == report.ni_optimized
+        assert result["insns"] == program.ni
+        assert result["asm"] == disassemble(program.insns)
+
+    def test_repeat_is_cached(self, client):
+        name, source = SOURCES[1]
+        first = client.compile(source, name=name, entry=name,
+                               prog_type="tracepoint")["result"]
+        second = client.compile(source, name=name, entry=name,
+                                prog_type="tracepoint")["result"]
+        assert second["cached"] is True
+        assert second["ni_optimized"] == first["ni_optimized"]
+
+    def test_validate_reports_certificates(self, client):
+        name, source = SOURCES[2]
+        response = client.compile(source, name=name, entry=name,
+                                  prog_type="tracepoint",
+                                  validate="report")
+        certs = response["result"]["certificates"]
+        assert certs["applications"] >= 1
+        assert certs["certified"] is True
+        assert sum(certs["by_status"].values()) == certs["applications"]
+
+    def test_stats_endpoint_shape(self, client):
+        client.ping()
+        stats = client.stats()
+        for section in ("requests", "connections", "queue", "batches",
+                        "throughput", "latency", "cache", "config"):
+            assert section in stats, section
+        assert stats["requests"]["received"] >= 1
+        assert stats["config"]["protocol_version"] == \
+            protocol.PROTOCOL_VERSION
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+    def test_tcp_transport(self):
+        config = ServeConfig(host="127.0.0.1", port=0, max_delay=0.005)
+        with DaemonThread(config) as handle:
+            kind, host, port = handle.address
+            assert kind == "tcp"
+            with ServeClient(("tcp", host, port)) as client:
+                assert client.ping()["ok"] is True
+
+
+# ============================================ admission-batch semantics
+class TestBatchingSemantics:
+    def test_batched_equals_sequential(self):
+        """The core contract: requests admitted into one batch return
+        byte-identical results to one-at-a-time compiles."""
+        config = ServeConfig(max_batch=len(SOURCES), max_delay=0.25)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                batched = client.compile_pipelined(
+                    [payload(n, s, asm=True) for n, s in SOURCES])
+            stats = handle.daemon.snapshot()
+        # the generous linger really did coalesce the window ...
+        assert stats["batches"]["max_size"] > 1
+        # ... and every response matches the local reference compile
+        for (name, source), response in zip(SOURCES, batched):
+            assert response["ok"], response
+            program, report = reference_compile(name, source)
+            result = response["result"]
+            assert result["ni_original"] == report.ni_original
+            assert result["ni_optimized"] == report.ni_optimized
+            assert result["asm"] == disassemble(program.insns)
+
+    def test_mixed_configs_in_one_window(self):
+        """One admission window holding different pipeline configs is
+        split into per-config compile_many groups, not mis-batched."""
+        config = ServeConfig(max_batch=8, max_delay=0.25)
+        requests = [
+            payload("fold", SOURCES[0][1], kernel="6.5", asm=True),
+            payload("fold", SOURCES[0][1], kernel="4.15", asm=True),
+            payload("mask", SOURCES[1][1], kernel="6.5", asm=True),
+        ]
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                responses = client.compile_pipelined(requests)
+        assert all(r["ok"] for r in responses)
+        # 4.15 lacks bounded loops/ALU32 support: the old-kernel result
+        # must come from the old-kernel pipeline, not the 6.5 batch
+        from repro.verifier import KERNELS
+
+        module = compile_source(SOURCES[0][1], "fold")
+        old, _ = MerlinPipeline(kernel=KERNELS["4.15"]).compile(
+            module.get("fold"), module,
+            prog_type=ProgramType.TRACEPOINT, ctx_size=64)
+        assert responses[1]["result"]["asm"] == disassemble(old.insns)
+        new, _ = reference_compile("fold", SOURCES[0][1])
+        assert responses[0]["result"]["asm"] == disassemble(new.insns)
+
+    def test_batch_stats_accounting(self):
+        config = ServeConfig(max_batch=4, max_delay=0.25)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                client.compile_pipelined(
+                    [payload(f"p{i}", SOURCES[i % len(SOURCES)][1].replace(
+                        SOURCES[i % len(SOURCES)][0], f"p{i}"))
+                     for i in range(8)])
+            stats = handle.daemon.snapshot()
+        batches = stats["batches"]
+        assert batches["requests"] == 8
+        assert batches["dispatched"] >= 2          # max_batch caps at 4
+        assert batches["max_size"] <= 4
+        assert stats["requests"]["compiles"] == 8
+        assert stats["latency"]["count"] == 8
+
+
+# ======================================================= ordering
+class TestOrdering:
+    def test_pipelined_responses_in_arrival_order(self, daemon):
+        with ServeClient(daemon.address) as client:
+            payloads = []
+            for i in range(12):
+                name, source = SOURCES[i % len(SOURCES)]
+                payloads.append(payload(name, source))
+            # compile_pipelined asserts ids come back in send order
+            responses = client.compile_pipelined(payloads)
+        assert [r["id"] for r in responses] == \
+            [i + 1 for i in range(len(payloads))]
+        assert all(r["ok"] for r in responses)
+
+    def test_order_holds_with_mixed_error_and_ok(self, daemon):
+        with ServeClient(daemon.address) as client:
+            ids = [
+                client.send(payload(*SOURCES[0])),
+                client.send({"op": "compile", "source": "u64 f( {"}),
+                client.send(payload(*SOURCES[1])),
+                client.send({"op": "transmogrify"}),
+                client.send(payload(*SOURCES[2])),
+            ]
+            responses = [client.recv() for _ in ids]
+        assert [r["id"] for r in responses] == ids
+        assert [r["ok"] for r in responses] == \
+            [True, False, True, False, True]
+        assert responses[1]["error"]["code"] == "compile-error"
+        assert responses[3]["error"]["code"] == "unknown-op"
+
+    def test_concurrent_clients_each_keep_order(self, daemon):
+        errors = []
+
+        def worker(worker_id):
+            try:
+                with ServeClient(daemon.address) as client:
+                    payloads = []
+                    for i in range(6):
+                        name, source = SOURCES[(worker_id + i)
+                                               % len(SOURCES)]
+                        payloads.append(payload(name, source))
+                    responses = client.compile_pipelined(payloads)
+                    assert all(r["ok"] for r in responses)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(f"worker {worker_id}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+# ================================================== error shapes (wire)
+class TestErrorResponses:
+    def test_malformed_line_gets_bad_json_with_null_id(self, client):
+        client.send_raw(b"this is not json\n")
+        response = client.recv()
+        assert response["ok"] is False
+        assert response["id"] is None
+        assert response["error"]["code"] == "bad-json"
+        assert isinstance(response["error"]["message"], str)
+        # the connection survives per-request protocol errors
+        assert client.ping()["ok"] is True
+
+    def test_oversized_source_is_rejected_per_request(self, client):
+        big = ("u64 f(u8* ctx) { return 1; } //"
+               + "x" * protocol.MAX_SOURCE_BYTES)
+        response = client.compile(big, check=False)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "oversized"
+        assert response["id"] is not None
+        assert client.ping()["ok"] is True
+
+    def test_compile_error_shape(self, client):
+        response = client.compile("u64 broken(u8* ctx) { return x; }",
+                                  name="broken", check=False)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "compile-error"
+        assert response["error"]["message"]
+
+    def test_check_raises_serve_error(self, client):
+        with pytest.raises(ServeError) as info:
+            client.compile("u64 broken(u8* ctx) { return x; }", check=True)
+        assert info.value.code == "compile-error"
+
+    def test_bad_request_shape(self, client):
+        response = client.request(
+            {"op": "compile", "source": "u64 f(u8* ctx) { return 1; }",
+             "mcpu": "v9"})
+        assert response["error"]["code"] == "bad-request"
+        assert "mcpu" in response["error"]["message"]
+
+    def test_error_codes_are_in_contract(self, client):
+        probes = [
+            ({"op": "nope"}, "unknown-op"),
+            ({"op": "compile"}, "bad-request"),
+        ]
+        for request, expected in probes:
+            response = client.request(request)
+            assert response["error"]["code"] == expected
+            assert response["error"]["code"] in protocol.ERROR_CODES
+
+
+# ================================================== shutdown semantics
+class TestShutdown:
+    def test_drain_answers_in_flight_requests(self):
+        """Requests already admitted when stop(drain=True) lands must
+        all be answered before the daemon exits."""
+        config = ServeConfig(max_batch=4, max_delay=0.15)
+        handle = DaemonThread(config).start()
+        try:
+            client = ServeClient(handle.address)
+            payloads = []
+            for i in range(6):
+                name, source = SOURCES[i % len(SOURCES)]
+                payloads.append(payload(name, source))
+            ids = [client.send(p) for p in payloads]
+            handle.stop(drain=True)          # races the in-flight batch
+            responses = [client.recv() for _ in ids]
+            client.close()
+        finally:
+            handle.stop()
+        assert [r["id"] for r in responses] == ids
+        # every response is either a real result or an explicit
+        # shutting-down rejection -- never silently dropped
+        codes = [r["error"]["code"] for r in responses if not r["ok"]]
+        assert all(c == "shutting-down" for c in codes)
+        assert any(r["ok"] for r in responses)
+
+    def test_shutdown_op_acks_then_stops(self):
+        config = ServeConfig(max_delay=0.005)
+        handle = DaemonThread(config).start()
+        client = ServeClient(handle.address)
+        ack = client.shutdown()
+        assert ack["result"] == {"stopping": True}
+        handle._thread.join(timeout=30)
+        assert not handle._thread.is_alive()
+        client.close()
+
+    def test_socket_is_removed_after_stop(self):
+        config = ServeConfig(max_delay=0.005)
+        handle = DaemonThread(config).start()
+        kind, path = handle.address
+        assert kind == "unix"
+        handle.stop()
+        import os
+
+        assert not os.path.exists(path)
+
+    def test_new_connections_refused_after_stop(self):
+        config = ServeConfig(max_delay=0.005)
+        handle = DaemonThread(config).start()
+        handle.stop()
+        with pytest.raises((ConnectionError, FileNotFoundError, OSError)):
+            ServeClient(handle.address)
+
+    def test_stop_is_idempotent(self):
+        handle = DaemonThread(ServeConfig(max_delay=0.005)).start()
+        handle.stop()
+        handle.stop()  # second call is a no-op, not an error
+
+
+# =============================================== multi-process workers
+class TestWorkerPool:
+    def test_jobs_pool_matches_sequential(self):
+        seq_cfg = ServeConfig(max_batch=8, max_delay=0.2)
+        par_cfg = ServeConfig(max_batch=8, max_delay=0.2, jobs=2)
+        requests = [payload(n, s, asm=True) for n, s in SOURCES]
+        with DaemonThread(seq_cfg) as handle:
+            with ServeClient(handle.address) as client:
+                seq = client.compile_pipelined(requests)
+        with DaemonThread(par_cfg) as handle:
+            with ServeClient(handle.address) as client:
+                par = client.compile_pipelined(requests)
+            assert handle.daemon.config.cache_dir is not None
+        for a, b in zip(seq, par):
+            assert a["ok"] and b["ok"]
+            assert a["result"]["asm"] == b["result"]["asm"]
+            assert a["result"]["ni_optimized"] == b["result"]["ni_optimized"]

@@ -64,21 +64,40 @@ class TestCompileValidate:
         # only fires on adjacent stack stores
 
 
-class TestCacheBypass:
-    def test_validate_skips_cache_entirely(self, counter_source):
-        cache = CompilationCache()
-        _program, report = _compile_counter(counter_source, cache=cache,
-                                            validate="report")
-        assert report.cached is False
-        assert report.certificates
-        assert len(cache) == 0  # nothing stored under validation
+class TestCacheParticipation:
+    """Validated compiles cache their certificate verdicts (under a
+    key that folds in the validate flag, so plain and validated
+    entries never mix)."""
 
-    def test_cached_hit_has_no_certificates(self, counter_source):
+    def test_validated_compile_stores_and_hits(self, counter_source):
+        cache = CompilationCache()
+        _program, cold = _compile_counter(counter_source, cache=cache,
+                                          validate="report")
+        assert cold.cached is False
+        assert cold.certificates
+        assert len(cache) == 1
+        _program, warm = _compile_counter(counter_source, cache=cache,
+                                          validate="report")
+        assert warm.cached is True
+        assert [(c.pass_name, c.status) for c in warm.certificates] \
+            == [(c.pass_name, c.status) for c in cold.certificates]
+
+    def test_cached_plain_hit_has_no_certificates(self, counter_source):
         cache = CompilationCache()
         _compile_counter(counter_source, cache=cache)
         _program, report = _compile_counter(counter_source, cache=cache)
         assert report.cached is True
         assert report.certificates == []
+
+    def test_plain_entry_does_not_satisfy_validated_request(
+            self, counter_source):
+        cache = CompilationCache()
+        _compile_counter(counter_source, cache=cache)
+        _program, report = _compile_counter(counter_source, cache=cache,
+                                            validate="report")
+        assert report.cached is False  # distinct key: it re-certifies
+        assert report.certificates
+        assert len(cache) == 2
 
 
 class TestFuzzCertificateAxis:
