@@ -62,17 +62,20 @@ def optimize(
     prog_type: ProgramType = ProgramType.XDP,
     mcpu: str = "v2",
     ctx_size: int = XDP_CTX_SIZE,
+    pgo=None,
     **pipeline_kwargs,
 ) -> Tuple[BpfProgram, MerlinReport]:
     """Compile one function through the full Merlin pipeline.
 
     The pipeline compiles from a private clone, so *module* comes back
-    unchanged and repeated calls yield identical reports.
+    unchanged and repeated calls yield identical reports.  ``pgo``
+    enables the profile-guided layout tier (``True`` for the default
+    spec, or a :class:`repro.core.bytecode_passes.layout.PgoSpec`).
     """
     func = module.get(function) if function else next(iter(module))
     pipeline = MerlinPipeline(**pipeline_kwargs)
     return pipeline.compile(func, module, prog_type=prog_type, mcpu=mcpu,
-                            ctx_size=ctx_size)
+                            ctx_size=ctx_size, pgo=pgo)
 
 
 def run_xdp(program: BpfProgram, packet: bytes, machine: Optional[Machine] = None):

@@ -13,7 +13,12 @@ A key digests everything that determines the output of
 * **mcpu**, **program type**, **ctx size**, ``verify_after``, and
   whether **translation validation** ran (a validated entry carries
   per-pass certificates in its report; an unvalidated one does not, so
-  the two must never share an entry).
+  the two must never share an entry);
+* the **profile-guided layout spec** when PGO is requested — the
+  deterministic :class:`~repro.core.bytecode_passes.layout.PgoSpec`
+  fingerprint (workload size, runs, seed, budget), not the collected
+  counts: the spec fully determines the profile for a given program, so
+  keying the spec keys the layout.
 
 Keys are hex SHA-256 digests, so they are safe as file names for the
 on-disk store.  ``SCHEMA_VERSION`` is folded in; bump it whenever the
@@ -32,7 +37,7 @@ from ..isa import ProgramType
 from ..verifier import KernelConfig
 
 #: bump to invalidate every previously written cache entry
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def canonical_text(func: ir.Function, module: Optional[ir.Module] = None) -> str:
@@ -64,8 +69,14 @@ def compose_key(
     ctx_size: int = 64,
     verify_after: bool = False,
     validate: bool = False,
+    pgo: Optional[str] = None,
 ) -> str:
-    """SHA-256 hex digest over the full compilation configuration."""
+    """SHA-256 hex digest over the full compilation configuration.
+
+    *pgo* is the :meth:`PgoSpec.fingerprint` string when profile-guided
+    layout runs, or ``None``; the two configurations must never share
+    an entry (layout reorders the emitted instruction stream).
+    """
     parts = (
         f"schema={SCHEMA_VERSION}",
         f"passes={','.join(sorted(enabled))}",
@@ -75,6 +86,7 @@ def compose_key(
         f"ctx_size={ctx_size}",
         f"verify_after={int(verify_after)}",
         f"validate={int(validate)}",
+        f"pgo={pgo if pgo is not None else '-'}",
         "ir:",
         ir_text,
     )
@@ -114,8 +126,10 @@ def key_for_function(
     ctx_size: int = 64,
     verify_after: bool = False,
     validate: bool = False,
+    pgo: Optional[str] = None,
 ) -> str:
     """Key an IR function directly (renders its canonical text first)."""
     return compose_key(canonical_text(func, module), enabled, kernel,
                        prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-                       verify_after=verify_after, validate=validate)
+                       verify_after=verify_after, validate=validate,
+                       pgo=pgo)

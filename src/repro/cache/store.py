@@ -90,6 +90,12 @@ class CompilationCache:
     purely in-memory.
     """
 
+    #: consecutive disk-write failures before the store stops trying —
+    #: a filesystem gone read-only (EROFS, quota, revoked mount) fails
+    #: every subsequent write, and probing it forever just burns a
+    #: syscall + an exception per ``put``
+    WRITE_DEGRADE_AFTER = 3
+
     def __init__(self, directory: Optional[str] = None,
                  max_memory_entries: int = 1024):
         if max_memory_entries < 1:
@@ -97,9 +103,17 @@ class CompilationCache:
         self.directory = directory
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._consecutive_write_errors = 0
+        self._write_degraded = False
         self.stats = CacheStats()
         if directory is not None:
-            os.makedirs(directory, exist_ok=True)
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError:
+                # directory unusable from the start (read-only parent):
+                # run memory-only rather than refusing to start
+                self.stats.write_errors += 1
+                self._write_degraded = True
 
     # ------------------------------------------------------------- keys
     def key_for_function(self, func: ir.Function,
@@ -108,11 +122,12 @@ class CompilationCache:
                          prog_type: ProgramType = ProgramType.XDP,
                          mcpu: str = "v2", ctx_size: int = 64,
                          verify_after: bool = False,
-                         validate: bool = False) -> str:
+                         validate: bool = False,
+                         pgo: Optional[str] = None) -> str:
         return _keys.key_for_function(
             func, module, enabled=enabled, kernel=kernel,
             prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-            verify_after=verify_after, validate=validate)
+            verify_after=verify_after, validate=validate, pgo=pgo)
 
     # ----------------------------------------------------------- lookup
     def get(self, key: str) -> Optional[Tuple[BpfProgram, MerlinReport]]:
@@ -168,6 +183,14 @@ class CompilationCache:
         """Drop the LRU layer (disk entries, if any, survive)."""
         self._memory.clear()
 
+    @property
+    def write_degraded(self) -> bool:
+        """True once the disk layer stopped accepting writes (e.g. the
+        filesystem went read-only mid-run).  Reads are still attempted —
+        a read-only mount serves existing entries fine — and ``get``
+        never re-raises either way."""
+        return self._write_degraded
+
     # ---------------------------------------------------------- helpers
     def _remember(self, key: str, blob: bytes) -> None:
         self._memory[key] = blob
@@ -183,7 +206,12 @@ class CompilationCache:
     def _write_disk(self, key: str, blob: bytes) -> None:
         """Best-effort: a failed disk write (permission lost, directory
         deleted or replaced mid-run) degrades the store to memory-only
-        for that entry instead of taking the caller down."""
+        for that entry instead of taking the caller down.  After
+        ``WRITE_DEGRADE_AFTER`` failures in a row the degradation goes
+        sticky and later ``put`` calls skip the disk entirely; one
+        successful write re-arms the counter."""
+        if self._write_degraded:
+            return
         path = self._path(key)
         tmp = None
         try:
@@ -193,8 +221,12 @@ class CompilationCache:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
             os.replace(tmp, path)
+            self._consecutive_write_errors = 0
         except OSError:
             self.stats.write_errors += 1
+            self._consecutive_write_errors += 1
+            if self._consecutive_write_errors >= self.WRITE_DEGRADE_AFTER:
+                self._write_degraded = True
             if tmp is not None:
                 try:
                     os.unlink(tmp)

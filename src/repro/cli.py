@@ -11,6 +11,8 @@ Subcommands mirror the real eBPF workflow:
   validation) over benchmark suites and/or a fuzz corpus
 * ``bench``    — batch-compile a Table-1 suite (parallel, cached)
 * ``bench-vm`` — microbenchmark the VM execution engines
+* ``bench-layout`` — measure the profile-guided layout tier's
+  branch-miss/cycle deltas and write ``BENCH_layout.json``
 * ``serve``    — run the optimization-as-a-service daemon (JSON lines
   over a local socket, admission batching, shared warm cache)
 * ``bench-serve`` — drive a daemon with Zipf-skewed synthetic tenant
@@ -50,9 +52,14 @@ def cmd_compile(args) -> int:
     if args.merlin:
         program, report = _optimize(compile_bpf(source), entry,
                                     kernel=KERNELS[args.kernel],
+                                    pgo=True if getattr(args, "pgo", False)
+                                    else None,
                                     **_prog_kwargs(args))
         print(f"; merlin: {report.ni_original} -> {report.ni_optimized} "
               f"insns ({report.ni_reduction:.1%} reduction)", file=sys.stderr)
+        layout_rewrites = report.rewrites_of("layout")
+        if layout_rewrites:
+            print(f"; layout: {layout_rewrites} rewrite(s)", file=sys.stderr)
     else:
         program = compile_baseline(module, entry, **_prog_kwargs(args))
         print(f"; baseline: {program.ni} insns", file=sys.stderr)
@@ -143,6 +150,7 @@ def cmd_fuzz(args) -> int:
         jobs=args.jobs,
         engines=not args.no_engines,
         certify=not args.no_certify,
+        layout=not args.no_layout,
         progress=progress,
     )
     if args.json:
@@ -368,6 +376,48 @@ def cmd_bench_vm(args) -> int:
     return 0 if report.all_identical else 1
 
 
+def cmd_bench_layout(args) -> int:
+    from .eval.layoutperf import VM_SUITES, bench_layout
+
+    suites = [s.strip() for s in args.suite.split(",")]
+    for suite in suites:
+        if suite not in VM_SUITES:
+            print(f"unknown suite {suite!r} (choose from "
+                  f"{', '.join(VM_SUITES)})", file=sys.stderr)
+            return 2
+
+    report = bench_layout(suites, seed=args.seed, scale=args.scale,
+                          count=args.count, tests_per_program=args.tests,
+                          engine=args.engine)
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(report.to_json())
+    else:
+        for suite in report.suites:
+            verdict = "identical" if suite.behavior_identical else \
+                f"MISMATCH ({suite.mismatch})"
+            certs = "certified" if suite.witnesses_certified else \
+                "NOT CERTIFIED"
+            print(f"{suite.suite}: {suite.programs} programs, "
+                  f"{suite.relaid} relaid ({suite.rewrites} rewrites) — "
+                  f"behavior {verdict}, {suite.witnesses} witness(es) "
+                  f"{certs}")
+            print(f"  branch misses: {suite.before.branch_misses} -> "
+                  f"{suite.after.branch_misses} "
+                  f"(delta {suite.branch_miss_delta:+d})")
+            print(f"  cache misses:  {suite.before.cache_misses} -> "
+                  f"{suite.after.cache_misses}")
+            print(f"  cycles:        {suite.before.cycles} -> "
+                  f"{suite.after.cycles} (delta {suite.cycle_delta:+d})")
+        print(f"improved: {report.suites_improved}/{len(report.suites)} "
+              f"suites")
+        if args.out:
+            print(f"wrote {args.out}")
+    ok = report.all_behavior_identical and report.all_certified
+    return 0 if ok else 1
+
+
 def cmd_serve(args) -> int:
     import json as _json
     import signal
@@ -462,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--entry", help="entry function (default: first)")
         p.add_argument("--merlin", action="store_true",
                        help="apply Merlin's optimizations")
+        p.add_argument("--pgo", action="store_true",
+                       help="with --merlin: profile-guided layout "
+                            "(default training spec)")
         p.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
         p.add_argument("--prog-type", default="xdp",
                        choices=[t.value for t in ProgramType])
@@ -494,6 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the reference-vs-fast VM engine axis")
     f.add_argument("--no-certify", action="store_true",
                    help="skip the per-pass translation-validation axis")
+    f.add_argument("--no-layout", action="store_true",
+                   help="skip the layout-on vs layout-off axis")
     f.set_defaults(handler=cmd_fuzz)
 
     t = sub.add_parser("tv", help="certify per-pass semantic equivalence")
@@ -553,6 +608,29 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--json", action="store_true",
                    help="emit machine-readable results")
     v.set_defaults(handler=cmd_bench_vm)
+
+    lb = sub.add_parser("bench-layout",
+                        help="measure the profile-guided layout tier "
+                             "(BENCH_layout.json)")
+    lb.add_argument("--suite", default="sysdig,tetragon,tracee,xdp",
+                    help="comma-separated suites "
+                         "(sysdig,tetragon,tracee,xdp)")
+    lb.add_argument("--seed", type=int, default=2024)
+    lb.add_argument("--scale", type=float, default=0.2,
+                    help="trace-suite size scale (default: 0.2)")
+    lb.add_argument("--count", type=int, default=None,
+                    help="programs per suite (default: profile-derived)")
+    lb.add_argument("--tests", type=int, default=6,
+                    help="inputs per program (default: 6)")
+    lb.add_argument("--engine", default="fast",
+                    choices=["reference", "fast"],
+                    help="VM engine for the measurement (default: fast)")
+    lb.add_argument("--out", default="BENCH_layout.json",
+                    help="result file (default: BENCH_layout.json; "
+                         "'' skips)")
+    lb.add_argument("--json", action="store_true",
+                    help="emit machine-readable results")
+    lb.set_defaults(handler=cmd_bench_layout)
 
     s = sub.add_parser("serve",
                        help="run the optimization-as-a-service daemon")

@@ -35,6 +35,7 @@ from .pipeline import MerlinPipeline, MerlinReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cache import CacheStats, CompilationCache
+    from .bytecode_passes.layout import PgoSpec
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,10 @@ class CompileJob:
     """One source program to push through the pipeline.
 
     ``entry=""`` selects the module's first function, mirroring the
-    CLI's default.
+    CLI's default.  ``pgo`` is an optional
+    :class:`~repro.core.bytecode_passes.layout.PgoSpec` enabling the
+    profile-guided layout tier for this job (a frozen dataclass, so the
+    job stays hashable and picklable for worker processes).
     """
 
     name: str
@@ -51,6 +55,7 @@ class CompileJob:
     prog_type: ProgramType = ProgramType.XDP
     mcpu: str = "v2"
     ctx_size: int = 64
+    pgo: Optional["PgoSpec"] = None
 
 
 @dataclass
@@ -140,7 +145,8 @@ def _compile_job(pipeline: MerlinPipeline, job: CompileJob,
     func = module.get(entry)
     return pipeline.compile(
         func, module, prog_type=job.prog_type, mcpu=job.mcpu,
-        ctx_size=job.ctx_size, cache=cache, validate=validate)
+        ctx_size=job.ctx_size, cache=cache, validate=validate,
+        pgo=job.pgo)
 
 
 def _optimize_one(spec: tuple, program: BpfProgram

@@ -145,6 +145,22 @@ class BytecodePass:
             snapshot=snapshot, note=note,
         ))
 
+    def _witness_layout(self, snapshot, after_insns, note: str = "") -> None:
+        """Report a whole-program re-layout: the snapshot is the entire
+        pre-rewrite program, ``after_insns`` the final relocated
+        instruction list.  The validator certifies the two CFGs
+        isomorphic (bodies equal, terminators matched up to condition
+        inversion and ``ja`` insertion/removal)."""
+        if snapshot is None:
+            return
+        from ..tv.witness import RewriteWitness
+
+        self.recorder.emit(RewriteWitness(
+            pass_name=self.name, tier="bytecode", kind="layout",
+            first=0, last=max(len(snapshot) - 1, 0), slot=0,
+            after_insns=list(after_insns), snapshot=snapshot, note=note,
+        ))
+
 
 def _slot_of(snapshot, index: int) -> int:
     """Encoded slot offset of logical *index* in a program snapshot."""

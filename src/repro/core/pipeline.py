@@ -156,9 +156,19 @@ class MerlinPipeline:
         ctx_size: int = 64,
         cache: Optional["CompilationCache"] = None,
         validate=False,
+        pgo=None,
     ) -> Tuple[BpfProgram, MerlinReport]:
         """Full pipeline: baseline compile for reference, IR refinement,
-        re-compile, bytecode refinement, optional verification.
+        re-compile, bytecode refinement, optional profile-guided layout,
+        optional verification.
+
+        ``pgo`` enables the BOLT-style layout tier: pass a
+        :class:`repro.core.bytecode_passes.layout.PgoSpec` (or ``True``
+        for the defaults) and the optimized program is executed on a
+        deterministic generated workload to collect per-branch profiles,
+        then hot/cold-split, straightened, and chain-reordered.  The
+        spec's fingerprint is folded into the cache key, and under
+        ``validate`` every re-layout carries its own certified witness.
 
         ``compile`` is pure: the IR passes run on a private clone, so the
         caller's *func*/*module* are never mutated and a second call
@@ -181,12 +191,14 @@ class MerlinPipeline:
         re-certifying — with ``validate=True`` a cached refuted
         certificate still raises, exactly like a fresh one.
         """
+        pgo = self._pgo_spec(pgo)
         key = None
         if cache is not None:
             key = cache.key_for_function(
                 func, module, enabled=self.enabled, kernel=self.kernel,
                 prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
                 verify_after=self.verify_after, validate=bool(validate),
+                pgo=pgo.fingerprint() if pgo is not None else None,
             )
             hit = cache.get(key)
             if hit is not None:
@@ -218,6 +230,8 @@ class MerlinPipeline:
         program = compile_function(work_func, module, prog_type=prog_type,
                                    mcpu=mcpu, ctx_size=ctx_size)
         stats += self.optimize_bytecode(program, recorder=recorder)
+        if pgo is not None:
+            stats.append(self._apply_layout(program, pgo, recorder=recorder))
         elapsed = time.perf_counter() - start
 
         report = MerlinReport(
@@ -242,6 +256,38 @@ class MerlinPipeline:
             cache.put(key, program, report)
         return program, report
 
+    @staticmethod
+    def _pgo_spec(pgo):
+        """Normalize the ``pgo`` argument: ``None``/``False`` -> off,
+        ``True`` -> default spec, mapping -> parsed spec."""
+        if pgo is None or pgo is False:
+            return None
+        from .bytecode_passes.layout import PgoSpec
+
+        if pgo is True:
+            return PgoSpec()
+        if isinstance(pgo, dict):
+            return PgoSpec.from_dict(pgo)
+        return pgo
+
+    def _apply_layout(self, program: BpfProgram, spec,
+                      recorder=None) -> PassStats:
+        """Run the profile-guided layout tier: collect a branch profile
+        on the generated workload, then reorder/straighten in place."""
+        from .bytecode_passes.layout import (ProfileGuidedLayoutPass,
+                                             collect_profile)
+
+        start = time.perf_counter()
+        profile = collect_profile(program, spec=spec)
+        layout = ProfileGuidedLayoutPass(profile)
+        if recorder is not None:
+            layout.recorder = recorder
+        stats = layout.run_timed(program)
+        stats.time_seconds = time.perf_counter() - start  # include profiling
+        stats.details["profiled_runs"] = profile.entries
+        stats.details["profiled_faults"] = profile.faults
+        return stats
+
     def _certify(self, recorder, module=None, prog_type=None,
                  mcpu: str = "v2", ctx_size: int = 64):
         from ..tv import TranslationValidator
@@ -265,12 +311,13 @@ class MerlinPipeline:
 
         return _optimize_many(self, programs, jobs=jobs)
 
-    def optimize_program(self, program: BpfProgram,
-                         validate=False) -> Tuple[BpfProgram, MerlinReport]:
+    def optimize_program(self, program: BpfProgram, validate=False,
+                         pgo=None) -> Tuple[BpfProgram, MerlinReport]:
         """Bytecode tier only, for programs without IR (assembled code).
 
-        ``validate`` works as in :meth:`compile` (bytecode-tier
-        witnesses only)."""
+        ``validate`` and ``pgo`` work as in :meth:`compile`
+        (bytecode-tier witnesses only)."""
+        pgo = self._pgo_spec(pgo)
         recorder = None
         if validate:
             from ..tv import WitnessRecorder
@@ -280,6 +327,9 @@ class MerlinPipeline:
         optimized = program.copy()
         ni_before = program.ni
         stats = self.optimize_bytecode(optimized, recorder=recorder)
+        if pgo is not None:
+            stats.append(self._apply_layout(optimized, pgo,
+                                            recorder=recorder))
         report = MerlinReport(
             name=program.name,
             ni_original=ni_before,

@@ -16,6 +16,13 @@ from .compile_cost import (
     measure_cache_speedup,
     measure_compile_cost,
 )
+from .layoutperf import (
+    LayoutBenchReport,
+    LayoutSuitePerf,
+    VariantCounters,
+    bench_layout,
+    bench_layout_suite,
+)
 from .network import (
     BASE_LATENCY_US,
     CORE_FREQ_HZ,
@@ -68,6 +75,11 @@ __all__ = [
     "measure_batch_cost",
     "measure_cache_speedup",
     "measure_compile_cost",
+    "LayoutBenchReport",
+    "LayoutSuitePerf",
+    "VariantCounters",
+    "bench_layout",
+    "bench_layout_suite",
     "BASE_LATENCY_US",
     "CORE_FREQ_HZ",
     "DRIVER_CYCLES",

@@ -22,6 +22,7 @@ from .differential import (
     build_program,
     check_config,
     check_engines,
+    check_layout,
     diff_case,
     observe_baseline,
     pass_sequence,
@@ -75,6 +76,7 @@ __all__ = [
     "build_program",
     "check_config",
     "check_engines",
+    "check_layout",
     "check_roundtrip",
     "count_statements",
     "ddmin",

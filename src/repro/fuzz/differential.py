@@ -216,6 +216,62 @@ def check_engines(case: GeneratedProgram, baseline: BaselineRecord,
     return Divergence(case, ENGINE_CONFIG, kind, index, detail)
 
 
+#: pseudo-config name the layout axis reports divergences under
+LAYOUT_CONFIG = ("layout",)
+
+
+def check_layout(case: GeneratedProgram, baseline: BaselineRecord,
+                 kernel: KernelConfig = DEFAULT_KERNEL,
+                 ) -> Optional[Divergence]:
+    """Layout-on vs layout-off axis: profile the baseline program on
+    its own oracle battery, re-lay it out, and require identical return
+    value, fault behaviour, and map/memory state under **both** VM
+    engines (counters legitimately change — layout exists to change
+    them).  On top of the behavioral check, every rewrite the pass
+    performed must carry a witness the TV layer certifies; an
+    uncertified layout is a divergence even when behaviour agrees."""
+    from ..core.bytecode_passes.layout import (ProfileGuidedLayoutPass,
+                                               collect_profile)
+    from ..tv import WitnessRecorder
+    from ..tv.regioncheck import validate_bytecode_witness
+
+    program = baseline.program.copy()
+    try:
+        profile = collect_profile(program, tests=baseline.tests)
+        layout = ProfileGuidedLayoutPass(profile)
+        recorder = WitnessRecorder()
+        layout.recorder = recorder
+        layout.run(program)
+    except Exception as exc:
+        return Divergence(case, LAYOUT_CONFIG, "build",
+                          detail=f"{type(exc).__name__}: {exc}")
+    for engine in ("reference", "fast"):
+        reference = observe_battery(baseline.program, baseline.tests,
+                                    seed=baseline.oracle_seed, engine=engine)
+        relaid = observe_battery(program, baseline.tests,
+                                 seed=baseline.oracle_seed, engine=engine)
+        hit = first_divergence(reference, relaid)
+        if hit is not None:
+            index, kind = hit
+            base, opt = reference[index], relaid[index]
+            if kind == "fault":
+                detail = (f"[{engine}] layout-off fault={base.fault} "
+                          f"layout-on fault={opt.fault}")
+            elif kind == "return":
+                detail = (f"[{engine}] layout-off r0={base.return_value:#x} "
+                          f"layout-on r0={opt.return_value:#x}")
+            else:
+                detail = f"[{engine}] map/memory/output state differs"
+            return Divergence(case, LAYOUT_CONFIG, kind, index, detail)
+    for witness in recorder.witnesses:
+        cert = validate_bytecode_witness(witness)
+        if not cert.certified:
+            return Divergence(
+                case, LAYOUT_CONFIG, "certificate",
+                detail=f"layout witness not certified: {cert.detail}")
+    return None
+
+
 #: pseudo-config name the translation-validation axis reports under
 CERT_CONFIG = ("certificates",)
 
@@ -268,7 +324,8 @@ def diff_case(case: GeneratedProgram,
               tests_per_program: int = 4,
               oracle_seed: int = 7,
               engines: bool = True,
-              certify: bool = True) -> Optional[Divergence]:
+              certify: bool = True,
+              layout: bool = True) -> Optional[Divergence]:
     """Run *case* under every config; first divergence wins."""
     baseline = observe_baseline(case, kernel, tests_per_program, oracle_seed)
     if engines:
@@ -277,6 +334,10 @@ def diff_case(case: GeneratedProgram,
             return divergence
     for enabled in configs:
         divergence = check_config(case, enabled, baseline, kernel)
+        if divergence is not None:
+            return divergence
+    if layout:
+        divergence = check_layout(case, baseline, kernel)
         if divergence is not None:
             return divergence
     if certify:

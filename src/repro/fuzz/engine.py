@@ -27,6 +27,7 @@ from .differential import (
     check_certificates,
     check_config,
     check_engines,
+    check_layout,
     observe_baseline,
 )
 from .generator import LAYERS, GeneratedProgram, generate
@@ -109,7 +110,8 @@ def check_roundtrip(program) -> bool:
 def _check_index(index: int, seed: int, layers: Sequence[str],
                  configs: Sequence[FrozenSet[str]], kernel: KernelConfig,
                  tests_per_program: int, minimize: bool,
-                 engines: bool = True, certify: bool = True
+                 engines: bool = True, certify: bool = True,
+                 layout: bool = True
                  ) -> Tuple[str, Optional[FuzzFinding]]:
     """Generate and triage one campaign index.
 
@@ -149,6 +151,14 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
         if divergence is not None:
             break
     if divergence is None:
+        if layout:
+            # layout-on vs layout-off axis: profile-guided re-layout
+            # must preserve behaviour under both engines and certify
+            # every rewrite.  A hit names the layout pass directly, so
+            # it skips pass bisection like the other pseudo-configs.
+            layout_divergence = check_layout(case, baseline, kernel)
+            if layout_divergence is not None:
+                return status, FuzzFinding(layout_divergence)
         if certify:
             # translation-validation axis: every pass application of
             # the full pipeline must earn an equivalence certificate.
@@ -180,12 +190,12 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
 def _campaign_slice(payload: tuple) -> List[Tuple[int, str, Optional[FuzzFinding]]]:
     """Worker entry point: triage a strided slice of campaign indices."""
     (seed, start, budget, stride, layers, configs, kernel,
-     tests_per_program, minimize, engines, certify) = payload
+     tests_per_program, minimize, engines, certify, layout) = payload
     out = []
     for index in range(start, budget, stride):
         status, finding = _check_index(index, seed, layers, configs, kernel,
                                        tests_per_program, minimize, engines,
-                                       certify)
+                                       certify, layout)
         out.append((index, status, finding))
     return out
 
@@ -200,6 +210,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
                  jobs: int = 1,
                  engines: bool = True,
                  certify: bool = True,
+                 layout: bool = True,
                  progress=None) -> FuzzReport:
     """Run one differential-fuzzing campaign of *budget* programs.
 
@@ -215,6 +226,11 @@ def run_campaign(seed: int = 0, budget: int = 200,
     ``certify`` additionally runs the full pipeline in translation-
     validation mode over every program and requires an equivalence
     certificate for each individual pass application.
+
+    ``layout`` additionally re-lays every baseline program out under a
+    profile collected on its own oracle battery and requires identical
+    behaviour (return/state/fault — counters excluded by design) under
+    both VM engines, plus a certified witness for every layout rewrite.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -225,7 +241,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
         triaged = (
             (index, *_check_index(index, seed, layers, configs, kernel,
                                   tests_per_program, minimize, engines,
-                                  certify))
+                                  certify, layout))
             for index in range(budget)
         )
         for index, status, finding in triaged:
@@ -234,7 +250,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
     else:
         payloads = [
             (seed, start, budget, jobs, tuple(layers), tuple(configs),
-             kernel, tests_per_program, minimize, engines, certify)
+             kernel, tests_per_program, minimize, engines, certify, layout)
             for start in range(min(jobs, max(budget, 1)))
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -1,12 +1,13 @@
 """Hardware models: cache, branch predictor, perf counters."""
 
-from .branch import BranchPredictor, BranchStats
+from .branch import BranchPredictor, BranchStats, ProfilingBranchPredictor
 from .cache import CacheModel, CacheStats
 from .counters import PerfCounters
 
 __all__ = [
     "BranchPredictor",
     "BranchStats",
+    "ProfilingBranchPredictor",
     "CacheModel",
     "CacheStats",
     "PerfCounters",

@@ -45,3 +45,39 @@ class BranchPredictor:
             counter = max(counter - 1, 0)
         self.counters[slot] = counter
         return penalty
+
+
+class ProfilingBranchPredictor(BranchPredictor):
+    """A :class:`BranchPredictor` that additionally tallies per-site
+    taken / not-taken execution counts, keyed by the slot pc the VM
+    reports.
+
+    Prediction behavior (and therefore every counter a measured run
+    mirrors) is bit-identical to the base predictor under both VM
+    engines — the fast engine captures ``record`` as a bound method at
+    decode-bind time, so the override is reached either way.  The
+    tallies are what :func:`repro.core.bytecode_passes.layout
+    .collect_profile` turns into a weighted CFG.
+
+    A predictor instance carries state across every ``Machine`` that
+    shares it; callers profiling *multiple* programs must ``reset()``
+    between them or the second program inherits the first one's table
+    (and its mirrored ``branch_misses`` counter lies).
+    """
+
+    def __init__(self, table_bits: int = 12, mispredict_penalty: int = 15):
+        super().__init__(table_bits, mispredict_penalty)
+        self.taken_counts: Dict[int, int] = {}
+        self.not_taken_counts: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self.taken_counts.clear()
+        self.not_taken_counts.clear()
+
+    def record(self, pc: int, taken: bool) -> int:
+        if taken:
+            self.taken_counts[pc] = self.taken_counts.get(pc, 0) + 1
+        else:
+            self.not_taken_counts[pc] = self.not_taken_counts.get(pc, 0) + 1
+        return super().record(pc, taken)

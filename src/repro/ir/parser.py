@@ -67,6 +67,11 @@ class _FunctionParser:
         self.values: Dict[str, Value] = {}
         self.blocks: Dict[str, BasicBlock] = {}
         self.pending: List[Tuple] = []  # fixups for forward block refs
+        #: typed placeholders for values used before their textual
+        #: definition — legal SSA whenever the defining block dominates
+        #: the use even though it *prints* later (branch folding leaves
+        #: blocks in layout order); resolved in _fixup_forwards
+        self.forward: Dict[str, Tuple[Value, int, str]] = {}
         self.current: Optional[BasicBlock] = None
 
     # ------------------------------------------------------------- values
@@ -75,8 +80,9 @@ class _FunctionParser:
         if token.startswith("%"):
             name = token[1:]
             if name not in self.values:
-                raise IRParseError(line_no, line,
-                                   f"use of undefined value %{name}")
+                if name not in self.forward:
+                    self.forward[name] = (Value(ty, name), line_no, line)
+                return self.forward[name][0]
             return self.values[name]
         if token.startswith("@"):
             return GlobalSymbol(pointer(int_type(8)), token[1:])
@@ -133,6 +139,7 @@ class _FunctionParser:
             self._parse_instruction(line_no, line)
         if self.func is None:
             raise SyntaxError("no 'define' found")
+        self._fixup_forwards()
         self._fixup_phis()
         return self.func
 
@@ -311,6 +318,19 @@ class _FunctionParser:
             if match:
                 return int(match.group(1))
         return default
+
+    def _fixup_forwards(self) -> None:
+        for name, (placeholder, line_no, line) in self.forward.items():
+            defined = self.values.get(name)
+            if defined is None:
+                raise IRParseError(line_no, line,
+                                   f"use of undefined value %{name}")
+            if defined.type != placeholder.type:
+                raise IRParseError(
+                    line_no, line,
+                    f"%{name} used as {placeholder.type} but defined as "
+                    f"{defined.type}")
+            placeholder.replace_all_uses_with(defined)
 
     def _fixup_phis(self) -> None:
         assert self.func is not None

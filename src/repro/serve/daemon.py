@@ -353,7 +353,7 @@ class OptimizationDaemon:
     def _memo_key(self, request: Request) -> tuple:
         return (request.source, request.entry, request.name,
                 request.prog_type, request.mcpu, request.ctx_size,
-                request.asm, request.config_key)
+                request.asm, request.pgo, request.config_key)
 
     def _fast_path(self, pending: _Pending) -> bool:
         """Answer a repeat request straight from the warm cache.
@@ -407,7 +407,8 @@ class OptimizationDaemon:
                                entry=p.request.entry,
                                prog_type=p.request.prog_type,
                                mcpu=p.request.mcpu,
-                               ctx_size=p.request.ctx_size)
+                               ctx_size=p.request.ctx_size,
+                               pgo=p.request.pgo)
                     for p in members]
             validate = members[0].request.validate
             worker_jobs = self.config.jobs if self._pool is not None else 1
@@ -425,12 +426,28 @@ class OptimizationDaemon:
                         f"{type(exc).__name__}: {exc}"))
                 continue
             self.stats.observe_batch(len(members), report.wall_seconds)
-            for pending, program, rep, error in zip(
-                    members, report.programs, report.reports, report.errors):
-                if error is not None:
+            # Resolve strictly by position, and resolve *every* member:
+            # a report that somehow came back short (a broken batch
+            # implementation, a truncated worker result) must still
+            # answer the unmatched requests — an unresolved future
+            # wedges its connection's write loop and stop(drain=True)
+            # then never finishes quiescing.
+            for index, pending in enumerate(members):
+                if index >= len(report.programs):
                     self.stats.compile_errors += 1
                     self._finish(pending, protocol.error_response(
-                        pending.request.id, "compile-error", error))
+                        pending.request.id, "internal",
+                        "batch report shorter than the request group"))
+                    continue
+                program = report.programs[index]
+                rep = report.reports[index]
+                error = (report.errors[index]
+                         if index < len(report.errors) else None)
+                if error is not None or rep is None:
+                    self.stats.compile_errors += 1
+                    self._finish(pending, protocol.error_response(
+                        pending.request.id, "compile-error",
+                        error or "no result for request"))
                 else:
                     self.stats.compiles_completed += 1
                     self._memoize(pending.request, rep)
@@ -463,6 +480,14 @@ class OptimizationDaemon:
                 "certified": all(c.certified
                                  for c in report.certificates),
                 "by_status": by_status,
+            }
+        if request.pgo is not None:
+            layout = [s for s in report.pass_stats if s.name == "layout"]
+            result["layout"] = {
+                "rewrites": sum(s.rewrites for s in layout),
+                "profiled_runs": sum(s.details.get("profiled_runs", 0)
+                                     for s in layout),
+                "spec": request.pgo.fingerprint(),
             }
         if request.asm:
             from ..isa import disassemble

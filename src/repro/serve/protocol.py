@@ -11,6 +11,8 @@ Requests::
     {"id": 1, "op": "compile", "source": "...", "entry": "f",
      "prog_type": "xdp", "mcpu": "v2", "ctx_size": 64}
     {"id": 2, "op": "validate", "source": "..."}   # compile + certify
+    {"id": 6, "op": "compile", "source": "...",
+     "pgo": {"tests": 8, "seed": 7}}               # profile-guided layout
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "ping"}
     {"id": 5, "op": "shutdown"}
@@ -85,6 +87,9 @@ class Request:
     passes: Optional[frozenset] = None
     validate: Union[bool, str] = False
     asm: bool = False
+    #: profile-guided layout spec (repro.core.bytecode_passes.layout
+    #: .PgoSpec), or None; frozen, so the request stays hashable
+    pgo: Optional[Any] = None
 
     @property
     def config_key(self) -> tuple:
@@ -198,10 +203,38 @@ def parse_request(line: Union[bytes, str]) -> Request:
     if not isinstance(asm, bool):
         raise ProtocolError("bad-request", "asm must be a boolean",
                             request_id)
+    pgo = _parse_pgo(obj.get("pgo", False), request_id)
     return Request(id=request_id, op=op, name=name, source=source,
                    entry=entry, prog_type=ProgramType(prog_type),
                    mcpu=mcpu, ctx_size=ctx_size, kernel=kernel,
-                   passes=passes, validate=validate, asm=asm)
+                   passes=passes, validate=validate, asm=asm, pgo=pgo)
+
+
+def _parse_pgo(value: Any, request_id: Any):
+    """``pgo``: ``false``/absent -> off, ``true`` -> default spec, or an
+    object selecting the training-battery parameters."""
+    if value is False:
+        return None
+    from ..core.bytecode_passes.layout import PgoSpec
+
+    if value is True:
+        return PgoSpec()
+    if not isinstance(value, dict):
+        raise ProtocolError("bad-request",
+                            "pgo must be a boolean or an object",
+                            request_id)
+    unknown = set(value) - {"tests", "runs", "seed", "max_insns"}
+    if unknown:
+        raise ProtocolError("bad-request",
+                            f"unknown pgo fields: {sorted(unknown)}",
+                            request_id)
+    for key, val in value.items():
+        if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+            raise ProtocolError(
+                "bad-request",
+                f"pgo field {key!r} must be a non-negative integer",
+                request_id)
+    return PgoSpec.from_dict(value)
 
 
 def ok_response(request_id: Any, result: dict) -> dict:

@@ -66,6 +66,8 @@ def validate_bytecode_witness(witness: RewriteWitness,
         return _validate_dead_def(witness)
     if witness.kind == "jump-thread":
         return _validate_jump_thread(witness)
+    if witness.kind == "layout":
+        return _validate_layout(witness)
     return Certificate(witness.pass_name, witness.tier, witness.kind,
                        witness.point, "structural", "checked",
                        detail=f"unknown witness kind {witness.kind!r}")
@@ -121,6 +123,119 @@ def _validate_dead_def(witness: RewriteWitness) -> Certificate:
                 f"definition was live")
     return _proved(witness, "structural",
                    "defined registers are dead; no side effects")
+
+
+def _is_plain_ja(insn: Instruction) -> bool:
+    return (insn.is_jump and not insn.is_call and not insn.is_exit
+            and insn.jmp_op == op.BPF_JA)
+
+
+def _is_cond_jump(insn: Instruction) -> bool:
+    return (insn.is_jump and not insn.is_call and not insn.is_exit
+            and insn.jmp_op != op.BPF_JA)
+
+
+def _resolve_ja(sym: SymbolicProgram, index: Optional[int]) -> Tuple[str,
+                                                                     int]:
+    """Follow unconditional jumps until a real instruction.
+
+    Returns ``("insn", i)``, ``("end", _)`` for one-past-the-end, or
+    ``("spin", _)`` for a cycle made only of ``ja`` instructions (both
+    sides then burn their instruction budget without observable effect).
+    """
+    n = len(sym.insns)
+    seen = set()
+    while True:
+        if index is None or index >= n:
+            return "end", n
+        if index in seen:
+            return "spin", index
+        insn = sym.insns[index].insn
+        if not _is_plain_ja(insn):
+            return "insn", index
+        seen.add(index)
+        index = sym.insns[index].target
+
+
+def _validate_layout(witness: RewriteWitness) -> Certificate:
+    """Prove a re-layout behavior-preserving by bisimulation.
+
+    Walks the before/after programs in lock-step from their entries,
+    treating unconditional jumps as transparent (layout freely inserts
+    and removes them).  At every matched pair, non-branch instructions
+    must be identical, and conditional branches must be identical or
+    complementary with swapped successors (straightening).  Since both
+    programs are deterministic and every observable operation (ALU,
+    memory, helper calls, exits, branch decisions) is matched 1:1, the
+    two programs compute identical results on every input — only perf
+    counters (and budget-fault timing on ``ja``-heavy paths) may differ,
+    which is exactly the layout contract.
+    """
+    from ..core.bytecode_passes.layout import invert_condition
+    from ..isa import BpfProgram
+
+    before = rebuild(witness.snapshot)
+    if any(item.deleted for item in before.insns):
+        return _refuted(witness, "structural",
+                        "layout witness snapshot contains deletions")
+    try:
+        after = SymbolicProgram.from_program(
+            BpfProgram(witness.pass_name, list(witness.after_insns)))
+    except Exception as exc:
+        return _refuted(witness, "structural",
+                        f"after-program does not relocate: {exc}")
+
+    nb, na = len(before.insns), len(after.insns)
+    agenda: List[Tuple[Optional[int], Optional[int]]] = [(0, 0)]
+    matched = set()
+    while agenda:
+        raw_b, raw_a = agenda.pop()
+        kind_b, b = _resolve_ja(before, raw_b)
+        kind_a, a = _resolve_ja(after, raw_a)
+        if kind_b != kind_a:
+            return _refuted(
+                witness, "structural",
+                f"control flow diverges: before reaches {kind_b} at "
+                f"{b}, after reaches {kind_a} at {a}")
+        if kind_b != "insn":
+            continue  # both ended, or both spin in a ja-only cycle
+        if (b, a) in matched:
+            continue
+        matched.add((b, a))
+        ib, ia = before.insns[b].insn, after.insns[a].insn
+        if _is_cond_jump(ib) or _is_cond_jump(ia):
+            if not (_is_cond_jump(ib) and _is_cond_jump(ia)):
+                return _refuted(
+                    witness, "structural",
+                    f"before insn {b} and after insn {a} disagree on "
+                    f"being a conditional branch")
+            tb = before.insns[b].target
+            ta = after.insns[a].target
+            norm_b, norm_a = ib.with_(off=0), ia.with_(off=0)
+            if norm_b == norm_a:
+                agenda.append((tb, ta))
+                agenda.append((b + 1, a + 1))
+            elif invert_condition(norm_b) == norm_a:
+                agenda.append((tb, a + 1))   # taken arm falls through now
+                agenda.append((b + 1, ta))   # fall-through arm is the jump
+            else:
+                return _refuted(
+                    witness, "structural",
+                    f"condition at before insn {b} is neither preserved "
+                    f"nor inverted at after insn {a}")
+        else:
+            if ib != ia:
+                return _refuted(
+                    witness, "structural",
+                    f"instruction differs: before insn {b} ({ib}) vs "
+                    f"after insn {a} ({ia})")
+            if not ib.is_exit:
+                agenda.append((b + 1, a + 1))
+    return _proved(
+        witness, "structural",
+        f"lock-step bisimulation over {len(matched)} instruction "
+        f"pair(s); jumps transparent, conditions preserved up to "
+        f"inversion")
 
 
 # ---------------------------------------------------------------------------

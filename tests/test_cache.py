@@ -373,3 +373,83 @@ class TestCacheStats:
         d = CacheStats(hits=1, misses=2).to_dict()
         assert d["hits"] == 1 and d["misses"] == 2
         assert d["hit_rate"] == round(1 / 3, 4)
+
+
+class TestWriteDegradation:
+    """A filesystem going read-only mid-run (EROFS) must downgrade the
+    store to memory-only: ``put``/``get`` never re-raise, reads keep
+    being served, and after WRITE_DEGRADE_AFTER consecutive failures
+    the disk is not even probed anymore."""
+
+    def failing_replace(self, monkeypatch):
+        import errno
+        import os as real_os
+
+        calls = {"n": 0}
+        original = real_os.replace
+
+        def replace(src, dst):
+            calls["n"] += 1
+            raise OSError(errno.EROFS, "read-only file system")
+
+        monkeypatch.setattr("repro.cache.store.os.replace", replace)
+        return calls, original
+
+    def test_erofs_after_first_write_never_reraises(self, tmp_path,
+                                                    monkeypatch):
+        cache = CompilationCache(directory=str(tmp_path))
+        prog1, _ = compile_with(cache)                  # lands on disk
+        assert cache.stats.write_errors == 0
+
+        calls, _ = self.failing_replace(monkeypatch)
+        degrade_at = CompilationCache.WRITE_DEGRADE_AFTER
+        for i in range(degrade_at + 2):                 # none of these raise
+            compile_with(cache, OTHER_SOURCE.replace("g(", f"g{i}("),
+                         f"g{i}")
+        assert cache.write_degraded is True
+        assert cache.stats.write_errors == degrade_at
+        # sticky: once degraded the disk is no longer probed
+        assert calls["n"] == degrade_at
+
+        # get() still serves: memory first, then the pre-failure disk
+        # entry after the LRU layer is dropped
+        _, again = compile_with(cache)
+        assert again.cached is True
+        cache.clear_memory()
+        _, from_disk = compile_with(cache)
+        assert from_disk.cached is True
+        assert cache.stats.disk_hits == 1
+        # unknown keys stay plain misses, no exception
+        assert cache.get("0" * 64) is None
+
+    def test_one_success_rearms_the_failure_counter(self, tmp_path,
+                                                    monkeypatch):
+        import os as real_os
+
+        cache = CompilationCache(directory=str(tmp_path))
+        calls, original = self.failing_replace(monkeypatch)
+        threshold = CompilationCache.WRITE_DEGRADE_AFTER
+        for i in range(threshold - 1):                  # one short of sticky
+            compile_with(cache, OTHER_SOURCE.replace("g(", f"h{i}("),
+                         f"h{i}")
+        assert cache.write_degraded is False
+        monkeypatch.setattr("repro.cache.store.os.replace", original)
+        compile_with(cache)                             # success re-arms
+        assert cache._consecutive_write_errors == 0
+
+        self.failing_replace(monkeypatch)
+        for i in range(threshold - 1):                  # fresh budget again
+            compile_with(cache, OTHER_SOURCE.replace("g(", f"k{i}("),
+                         f"k{i}")
+        assert cache.write_degraded is False
+        assert cache.stats.write_errors == 2 * (threshold - 1)
+
+    def test_unwritable_directory_from_birth_runs_memory_only(
+            self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the cache dir should go")
+        cache = CompilationCache(directory=str(blocker / "sub"))
+        assert cache.write_degraded is True
+        prog1, rep1 = compile_with(cache)               # memory tier only
+        _, again = compile_with(cache)
+        assert again.cached is True

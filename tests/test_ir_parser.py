@@ -105,14 +105,69 @@ entry:
         assert isinstance(call, iri.Call)
         assert call.callee == "ktime_get_ns"
 
-    def test_use_before_def_rejected(self):
-        with pytest.raises(IRParseError):
-            parse_function("""
+    def test_intra_block_use_before_def_fails_validation(self):
+        """The parser accepts any textual order (forward references are
+        legal SSA when dominance holds); *dominance* is the structural
+        validator's job."""
+        func = parse_function("""
 define i64 @bad() {
 entry:
   %1 = add i64 %2, 1
   %2 = add i64 1, 1
   ret i64 %1
+}
+""")
+        with pytest.raises(Exception, match="before its definition"):
+            validate_function(func)
+
+    def test_forward_reference_across_blocks(self):
+        """Branch folding can leave a dominating block printed *after*
+        its use site (layout order != dominance order); the printed IR
+        must still re-parse — the regression behind fuzz seeds 72/93/174
+        on the certificate axis."""
+        func = parse_function("""
+define i64 @f() {
+entry:
+  br label %later
+use:
+  %2 = add i64 %1, 1
+  ret i64 %2
+later:
+  %1 = add i64 40, 1
+  br label %use
+}
+""")
+        validate_function(func)
+        add = func.blocks[1].instructions[0]
+        assert isinstance(add, iri.BinaryOp)
+        # the operand is the real defining instruction, not a placeholder
+        assert add.operands[0] is func.blocks[2].instructions[0]
+        # and the function round-trips
+        assert print_function(parse_function(print_function(func))) == \
+            print_function(func)
+
+    def test_undefined_forward_reference_rejected(self):
+        with pytest.raises(IRParseError, match="undefined value %nope"):
+            parse_function("""
+define i64 @bad() {
+entry:
+  %1 = add i64 %nope, 1
+  ret i64 %1
+}
+""")
+
+    def test_type_mismatched_forward_reference_rejected(self):
+        with pytest.raises(IRParseError, match="used as i64"):
+            parse_function("""
+define i64 @bad() {
+entry:
+  br label %later
+use:
+  %2 = add i64 %1, 1
+  ret i64 %2
+later:
+  %1 = icmp eq i64 1, 1
+  br label %use
 }
 """)
 

@@ -500,3 +500,115 @@ class TestWorkerPool:
             assert a["ok"] and b["ok"]
             assert a["result"]["asm"] == b["result"]["asm"]
             assert a["result"]["ni_optimized"] == b["result"]["ni_optimized"]
+
+
+# ======================================= profile-guided layout (pgo)
+class TestPgoRequests:
+    """The ``pgo`` request field: parsing, per-request layout results,
+    and memoization separation from plain compiles."""
+
+    def test_parse_pgo_true_gives_default_spec(self):
+        from repro.core.bytecode_passes.layout import PgoSpec
+        request = parse_request(
+            b'{"op": "compile", "source": "x", "pgo": true}')
+        assert request.pgo == PgoSpec()
+
+    def test_parse_pgo_dict(self):
+        request = parse_request(protocol.encode(
+            {"op": "compile", "source": "x",
+             "pgo": {"tests": 3, "seed": 9}}))
+        assert request.pgo.tests == 3
+        assert request.pgo.seed == 9
+        assert request.pgo.runs == 1  # defaults fill in
+
+    def test_parse_pgo_absent_or_false_is_off(self):
+        assert parse_request(
+            b'{"op": "compile", "source": "x"}').pgo is None
+        assert parse_request(
+            b'{"op": "compile", "source": "x", "pgo": false}').pgo is None
+
+    @pytest.mark.parametrize("pgo", [
+        "yes",                       # not a bool/dict
+        3,                           # not a bool/dict
+        {"tests": -1},               # negative
+        {"tests": True},             # bool masquerading as int
+        {"bogus": 1},                # unknown key
+        {"seed": "7"},               # wrong type
+    ])
+    def test_bad_pgo_rejected(self, pgo):
+        obj = {"op": "compile", "source": "x", "pgo": pgo}
+        with pytest.raises(ProtocolError) as info:
+            parse_request(protocol.encode(obj))
+        assert info.value.code == "bad-request"
+
+    def test_pgo_compile_reports_layout(self, client):
+        from repro.core.bytecode_passes.layout import PgoSpec
+        name, source = SOURCES[2]  # branchy
+        response = client.compile(source, name=name, entry=name,
+                                  prog_type="tracepoint", pgo=True)
+        result = response["result"]
+        assert "layout" in result
+        assert result["layout"]["spec"] == PgoSpec().fingerprint()
+        assert result["layout"]["profiled_runs"] >= 1
+
+    def test_pgo_and_plain_memoize_separately(self):
+        config = ServeConfig(max_batch=4, max_delay=0.005)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                name, source = SOURCES[2]
+                plain = client.compile(source, name=name, entry=name,
+                                       prog_type="tracepoint")["result"]
+                pgo = client.compile(source, name=name, entry=name,
+                                     prog_type="tracepoint",
+                                     pgo=True)["result"]
+        assert "layout" not in plain
+        assert pgo["cached"] is False  # its own cache entry
+        assert "layout" in pgo
+
+
+# ================================= poisoned admission batches (drain)
+class TestPoisonedBatch:
+    """One failing request inside an admitted batch must produce a
+    per-request error while its siblings compile, respond in order,
+    and never stall the drain."""
+
+    BAD_SOURCE = "u64 boom(u8* ctx) { return undefined_symbol; }"
+
+    def test_siblings_survive_in_order_and_daemon_drains(self):
+        config = ServeConfig(max_batch=8, max_delay=0.1)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                requests = [payload(*SOURCES[0]),
+                            payload("boom", self.BAD_SOURCE),
+                            payload(*SOURCES[1]),
+                            payload(*SOURCES[3])]
+                # one admission window: sent before any response is read
+                responses = client.compile_pipelined(requests)
+                stats = client.stats()
+            # context exit runs stop(drain=True): a wedged batch group
+            # would hang right here
+        assert [r["ok"] for r in responses] == [True, False, True, True]
+        assert responses[1]["error"]["code"] == "compile-error"
+        assert "undefined" in responses[1]["error"]["message"]
+        # the siblings really compiled (identical to a local pipeline)
+        for index, (name, source) in ((0, SOURCES[0]), (2, SOURCES[1]),
+                                      (3, SOURCES[3])):
+            program, report = reference_compile(name, source)
+            assert responses[index]["result"]["ni_optimized"] == \
+                report.ni_optimized
+        assert stats["requests"]["compile_errors"] == 1
+        assert stats["requests"]["compiles"] == 3
+        # all four went through admission batching, not a bypass
+        assert stats["batches"]["requests"] == 4
+
+    def test_all_poisoned_batch_still_drains(self):
+        config = ServeConfig(max_batch=4, max_delay=0.05)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                responses = client.compile_pipelined(
+                    [payload(f"boom{i}",
+                             self.BAD_SOURCE.replace("boom", f"boom{i}"))
+                     for i in range(3)])
+        assert all(not r["ok"] for r in responses)
+        assert all(r["error"]["code"] == "compile-error"
+                   for r in responses)
