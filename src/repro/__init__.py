@@ -63,6 +63,7 @@ def optimize(
     mcpu: str = "v2",
     ctx_size: int = XDP_CTX_SIZE,
     pgo=None,
+    superopt=None,
     **pipeline_kwargs,
 ) -> Tuple[BpfProgram, MerlinReport]:
     """Compile one function through the full Merlin pipeline.
@@ -70,12 +71,14 @@ def optimize(
     The pipeline compiles from a private clone, so *module* comes back
     unchanged and repeated calls yield identical reports.  ``pgo``
     enables the profile-guided layout tier (``True`` for the default
-    spec, or a :class:`repro.core.bytecode_passes.layout.PgoSpec`).
+    spec, or a :class:`repro.core.bytecode_passes.layout.PgoSpec`);
+    ``superopt`` enables the caching superoptimizer tier (``True`` for
+    the default spec, or a :class:`repro.core.superopt.SuperoptSpec`).
     """
     func = module.get(function) if function else next(iter(module))
     pipeline = MerlinPipeline(**pipeline_kwargs)
     return pipeline.compile(func, module, prog_type=prog_type, mcpu=mcpu,
-                            ctx_size=ctx_size, pgo=pgo)
+                            ctx_size=ctx_size, pgo=pgo, superopt=superopt)
 
 
 def run_xdp(program: BpfProgram, packet: bytes, machine: Optional[Machine] = None):

@@ -25,11 +25,9 @@ from typing import List, Optional, Tuple
 
 from ..core.bytecode_passes.symbolic import SymbolicProgram
 from ..isa import BpfProgram, Instruction, ProgramType
-from ..isa import instruction as ins
-from ..isa import opcodes as op
 from ..isa.helpers import HELPER_NAMES
 from ..verifier import DEFAULT_KERNEL, KernelConfig, verify
-from ..vm import cost as vmcost
+from . import search
 from .equivalence import TestCase, equivalent, generate_tests
 
 #: helpers K2's formalization covers (everything else is unsupported)
@@ -122,9 +120,8 @@ class K2Optimizer:
         current_cost = best_cost
         accepted = 0
         for step in range(budget):
-            temperature = self.config.initial_temperature * (
-                1.0 - step / max(budget, 1)
-            ) + 0.05
+            temperature = search.anneal_temperature(
+                self.config.initial_temperature, step, budget)
             candidate = self._mutate(current, rng)
             if candidate is None:
                 continue
@@ -146,149 +143,45 @@ class K2Optimizer:
 
     def _iteration_budget(self, ni: int) -> int:
         """Effective proposals shrink as programs grow (see K2Config)."""
-        rolloff = self.config.size_rolloff
-        effective = self.config.iterations * rolloff / (rolloff + ni)
-        return max(150, int(effective))
+        return search.iteration_budget(self.config.iterations, ni,
+                                       self.config.size_rolloff)
 
     # ---------------------------------------------------------------- cost
     def _cost(self, program: BpfProgram) -> float:
-        perf = sum(
-            vmcost.base_cost(insn)
-            + (4 if insn.is_memory else 0)
-            + (vmcost.HELPER_COST.get(
-                HELPER_NAMES.get(insn.imm, ""), vmcost.DEFAULT_HELPER_COST)
-               if insn.is_call else 0)
-            for insn in program.insns
-        )
-        return self.config.ni_weight * program.ni + self.config.perf_weight * perf
+        return search.program_cost(program, self.config.ni_weight,
+                                   self.config.perf_weight)
 
     # ------------------------------------------------------------- proposals
+    # The move implementations live in repro.baselines.search so the
+    # superoptimizer tier can reuse them; these wrappers keep the K2
+    # API (and its pinned RNG behaviour) stable.
     def _mutate(self, program: BpfProgram,
                 rng: random.Random) -> Optional[BpfProgram]:
-        sym = SymbolicProgram.from_program(program)
-        live = sym.live_indices()
-        if len(live) <= 2:
-            return None
-        choice = rng.random()
-        try:
-            if choice < 0.35:
-                self._delete_random(sym, live, rng)
-            elif choice < 0.55:
-                self._simplify_pair(sym, live, rng)
-            elif choice < 0.80:
-                self._merge_loads(sym, live, rng)
-            elif choice < 0.92:
-                self._tweak_operand(sym, live, rng)
-            else:
-                self._swap_adjacent(sym, live, rng)
-            return program.copy(insns=sym.to_insns())
-        except Exception:
-            return None
+        return search.mutate_program(program, rng)
 
     @staticmethod
     def _deletable(insn: Instruction) -> bool:
-        return not (insn.is_jump or insn.is_exit or insn.is_call)
+        return search.deletable(insn)
 
     def _delete_random(self, sym: SymbolicProgram, live: List[int],
                        rng: random.Random) -> None:
-        candidates = [i for i in live if self._deletable(sym.insns[i].insn)]
-        if not candidates:
-            raise ValueError("nothing deletable")
-        sym.delete(rng.choice(candidates))
+        search.delete_random(sym, live, rng)
 
     def _simplify_pair(self, sym: SymbolicProgram, live: List[int],
                        rng: random.Random) -> None:
-        """Collapse a mov+store or shl/shr pair at a random location —
-        the 'library' moves K2's synthesis can discover."""
-        start = rng.randrange(len(live) - 1)
-        for i in range(start, len(live) - 1):
-            first = sym.insns[live[i]].insn
-            second = sym.insns[live[i + 1]].insn
-            # mov rX, imm; store rB+off, rX  ->  store_imm
-            if (
-                first.is_alu64
-                and first.alu_op == op.BPF_MOV
-                and first.uses_imm
-                and second.insn_class == op.BPF_STX
-                and not second.is_atomic
-                and second.src == first.dst
-                and -(1 << 31) <= first.imm < (1 << 31)
-            ):
-                sym.delete(live[i])
-                sym.replace(
-                    live[i + 1],
-                    ins.store_imm(second.size_bytes, second.dst, second.off,
-                                  first.imm),
-                )
-                return
-            # shl 32; shr 32 -> mov32
-            if (
-                first.is_alu64
-                and first.alu_op == op.BPF_LSH
-                and first.uses_imm and first.imm == 32
-                and second.is_alu64
-                and second.alu_op == op.BPF_RSH
-                and second.uses_imm and second.imm == 32
-                and second.dst == first.dst
-            ):
-                sym.replace(live[i], ins.mov32_reg(first.dst, first.dst))
-                sym.delete(live[i + 1])
-                return
-        raise ValueError("no pair found")
+        search.simplify_pair(sym, live, rng)
 
     def _merge_loads(self, sym: SymbolicProgram, live: List[int],
                      rng: random.Random) -> None:
-        """Propose merging a byte-assembly window into one wide load —
-        the kind of rewrite K2's synthesis discovers.  Correctness is
-        left to the equivalence oracle (the dead helper register must
-        really be dead for the candidate to survive testing)."""
-        start = rng.randrange(max(len(live) - 3, 1))
-        for i in range(start, len(live) - 3):
-            a = sym.insns[live[i]].insn
-            b = sym.insns[live[i + 1]].insn
-            c = sym.insns[live[i + 2]].insn
-            d = sym.insns[live[i + 3]].insn
-            if not (a.is_load and b.is_load and a.size_bytes == b.size_bytes
-                    and a.size_bytes < 8 and a.src == b.src
-                    and b.off == a.off + a.size_bytes):
-                continue
-            size = a.size_bytes
-            # shl high, 8*size ; or low, high
-            if not (
-                c.is_alu64 and c.alu_op == op.BPF_LSH and c.uses_imm
-                and c.imm == 8 * size and c.dst == b.dst
-                and d.is_alu64 and d.alu_op == op.BPF_OR
-                and not d.uses_imm and d.dst == a.dst and d.src == b.dst
-            ):
-                continue
-            sym.replace(live[i], ins.load(size * 2, a.dst, a.src, a.off))
-            sym.delete(live[i + 1])
-            sym.delete(live[i + 2])
-            sym.delete(live[i + 3])
-            return
-        raise ValueError("no mergeable load window")
+        search.merge_loads(sym, live, rng)
 
     def _tweak_operand(self, sym: SymbolicProgram, live: List[int],
                        rng: random.Random) -> None:
-        index = rng.choice(live)
-        insn = sym.insns[index].insn
-        if insn.is_alu and insn.uses_imm:
-            delta = rng.choice([-1, 1])
-            sym.replace(index, insn.with_(imm=insn.imm + delta),
-                        sym.insns[index].target)
-        elif insn.is_alu and not insn.uses_imm:
-            sym.replace(index, insn.with_(src=rng.randrange(10)),
-                        sym.insns[index].target)
-        else:
-            raise ValueError("cannot tweak")
+        search.tweak_operand(sym, live, rng)
 
     def _swap_adjacent(self, sym: SymbolicProgram, live: List[int],
                        rng: random.Random) -> None:
-        i = rng.randrange(len(live) - 1)
-        a, b = sym.insns[live[i]], sym.insns[live[i + 1]]
-        if a.insn.is_jump or b.insn.is_jump or a.insn.is_exit or b.insn.is_exit:
-            raise ValueError("cannot swap control flow")
-        sym.insns[live[i]], sym.insns[live[i + 1]] = b, a
+        search.swap_adjacent(sym, live, rng)
 
     # ---------------------------------------------------------------- safety
     def _safe_and_equivalent(self, original: BpfProgram,

@@ -18,7 +18,17 @@ A key digests everything that determines the output of
   deterministic :class:`~repro.core.bytecode_passes.layout.PgoSpec`
   fingerprint (workload size, runs, seed, budget), not the collected
   counts: the spec fully determines the profile for a given program, so
-  keying the spec keys the layout.
+  keying the spec keys the layout;
+* the **superoptimizer spec** when the superopt tier is requested — the
+  :class:`~repro.core.superopt.SuperoptSpec` fingerprint (window,
+  search budget, seed): the tier is deterministic for a given spec, so
+  keying the spec keys the rewrites.
+
+The same store also holds the superoptimizer's *rewrite memo* under a
+separate key namespace (:func:`key_for_window`): entries keyed by the
+canonicalized window content plus the search-relevant spec parts, so
+one discovery is shared by every program — and every serve worker —
+that contains the same window shape.
 
 Keys are hex SHA-256 digests, so they are safe as file names for the
 on-disk store.  ``SCHEMA_VERSION`` is folded in; bump it whenever the
@@ -37,7 +47,7 @@ from ..isa import ProgramType
 from ..verifier import KernelConfig
 
 #: bump to invalidate every previously written cache entry
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def canonical_text(func: ir.Function, module: Optional[ir.Module] = None) -> str:
@@ -70,12 +80,15 @@ def compose_key(
     verify_after: bool = False,
     validate: bool = False,
     pgo: Optional[str] = None,
+    superopt: Optional[str] = None,
 ) -> str:
     """SHA-256 hex digest over the full compilation configuration.
 
     *pgo* is the :meth:`PgoSpec.fingerprint` string when profile-guided
     layout runs, or ``None``; the two configurations must never share
     an entry (layout reorders the emitted instruction stream).
+    *superopt* is likewise the :meth:`SuperoptSpec.fingerprint` string
+    when the superopt tier runs (it rewrites the instruction stream).
     """
     parts = (
         f"schema={SCHEMA_VERSION}",
@@ -87,6 +100,7 @@ def compose_key(
         f"verify_after={int(verify_after)}",
         f"validate={int(validate)}",
         f"pgo={pgo if pgo is not None else '-'}",
+        f"superopt={superopt if superopt is not None else '-'}",
         "ir:",
         ir_text,
     )
@@ -115,6 +129,23 @@ def key_for_bytecode(program) -> str:
     return digest.hexdigest()
 
 
+def key_for_window(insns, search: str = "") -> str:
+    """Content key for a *canonicalized* superoptimizer window — the
+    rewrite-memo namespace.
+
+    The digest covers the canonical instruction encoding (registers
+    renamed, offsets rebased by :func:`repro.core.superopt
+    .canonicalize_window`) plus *search*, the spec's search-relevant
+    fingerprint: entries found under different search budgets or seeds
+    must not answer for one another, or ``cached == fresh`` breaks.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"schema={SCHEMA_VERSION};superopt-memo;{search};".encode())
+    for insn in insns:
+        digest.update(insn.encode())
+    return digest.hexdigest()
+
+
 def key_for_function(
     func: ir.Function,
     module: Optional[ir.Module] = None,
@@ -127,9 +158,10 @@ def key_for_function(
     verify_after: bool = False,
     validate: bool = False,
     pgo: Optional[str] = None,
+    superopt: Optional[str] = None,
 ) -> str:
     """Key an IR function directly (renders its canonical text first)."""
     return compose_key(canonical_text(func, module), enabled, kernel,
                        prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
                        verify_after=verify_after, validate=validate,
-                       pgo=pgo)
+                       pgo=pgo, superopt=superopt)

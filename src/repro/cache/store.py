@@ -123,14 +123,20 @@ class CompilationCache:
                          mcpu: str = "v2", ctx_size: int = 64,
                          verify_after: bool = False,
                          validate: bool = False,
-                         pgo: Optional[str] = None) -> str:
+                         pgo: Optional[str] = None,
+                         superopt: Optional[str] = None) -> str:
         return _keys.key_for_function(
             func, module, enabled=enabled, kernel=kernel,
             prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
-            verify_after=verify_after, validate=validate, pgo=pgo)
+            verify_after=verify_after, validate=validate, pgo=pgo,
+            superopt=superopt)
 
     # ----------------------------------------------------------- lookup
-    def get(self, key: str) -> Optional[Tuple[BpfProgram, MerlinReport]]:
+    def get_object(self, key: str) -> Optional[object]:
+        """Raw object lookup — the machinery behind :meth:`get`, also
+        used directly by the superoptimizer's rewrite memo (entries in
+        the ``key_for_window`` namespace are :class:`RewriteMemoEntry`
+        objects, not program/report pairs)."""
         blob = self._memory.get(key)
         if blob is not None:
             self._memory.move_to_end(key)
@@ -159,12 +165,20 @@ class CompilationCache:
         self.stats.misses += 1
         return None
 
-    def put(self, key: str, program: BpfProgram, report: MerlinReport) -> None:
-        blob = pickle.dumps((program, report))
+    def put_object(self, key: str, obj: object) -> None:
+        """Store an arbitrary picklable object under *key* (see
+        :meth:`get_object`)."""
+        blob = pickle.dumps(obj)
         self._remember(key, blob)
         if self.directory is not None:
             self._write_disk(key, blob)
         self.stats.stores += 1
+
+    def get(self, key: str) -> Optional[Tuple[BpfProgram, MerlinReport]]:
+        return self.get_object(key)
+
+    def put(self, key: str, program: BpfProgram, report: MerlinReport) -> None:
+        self.put_object(key, (program, report))
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

@@ -13,6 +13,8 @@ Subcommands mirror the real eBPF workflow:
 * ``bench-vm`` — microbenchmark the VM execution engines
 * ``bench-layout`` — measure the profile-guided layout tier's
   branch-miss/cycle deltas and write ``BENCH_layout.json``
+* ``bench-superopt`` — measure the caching superoptimizer tier's
+  compactness wins over Merlin-only and write ``BENCH_superopt.json``
 * ``serve``    — run the optimization-as-a-service daemon (JSON lines
   over a local socket, admission batching, shared warm cache)
 * ``bench-serve`` — drive a daemon with Zipf-skewed synthetic tenant
@@ -54,12 +56,19 @@ def cmd_compile(args) -> int:
                                     kernel=KERNELS[args.kernel],
                                     pgo=True if getattr(args, "pgo", False)
                                     else None,
+                                    superopt=True
+                                    if getattr(args, "superopt", False)
+                                    else None,
                                     **_prog_kwargs(args))
         print(f"; merlin: {report.ni_original} -> {report.ni_optimized} "
               f"insns ({report.ni_reduction:.1%} reduction)", file=sys.stderr)
         layout_rewrites = report.rewrites_of("layout")
         if layout_rewrites:
             print(f"; layout: {layout_rewrites} rewrite(s)", file=sys.stderr)
+        superopt_rewrites = report.rewrites_of("superopt")
+        if superopt_rewrites:
+            print(f"; superopt: {superopt_rewrites} rewrite(s)",
+                  file=sys.stderr)
     else:
         program = compile_baseline(module, entry, **_prog_kwargs(args))
         print(f"; baseline: {program.ni} insns", file=sys.stderr)
@@ -151,6 +160,7 @@ def cmd_fuzz(args) -> int:
         engines=not args.no_engines,
         certify=not args.no_certify,
         layout=not args.no_layout,
+        superopt=not args.no_superopt,
         progress=progress,
     )
     if args.json:
@@ -418,6 +428,51 @@ def cmd_bench_layout(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_bench_superopt(args) -> int:
+    from .eval.superoptperf import VM_SUITES, bench_superopt
+
+    suites = [s.strip() for s in args.suite.split(",")]
+    for suite in suites:
+        if suite not in VM_SUITES:
+            print(f"unknown suite {suite!r} (choose from "
+                  f"{', '.join(VM_SUITES)})", file=sys.stderr)
+            return 2
+
+    report = bench_superopt(suites, seed=args.seed, scale=args.scale,
+                            count=args.count,
+                            tests_per_program=args.tests,
+                            engine=args.engine)
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(report.to_json())
+    else:
+        for suite in report.suites:
+            verdict = "identical" if suite.behavior_identical else \
+                f"MISMATCH ({suite.mismatch})"
+            certs = "certified" if suite.witnesses_certified else \
+                "NOT CERTIFIED"
+            print(f"{suite.suite}: {len(suite.programs)} programs, "
+                  f"{suite.improved} improved ({suite.rewrites} rewrites) "
+                  f"— NI {suite.ni_merlin} -> {suite.ni_superopt}, "
+                  f"behavior {verdict}, {suite.witnesses} witness(es) "
+                  f"{certs}")
+            print(f"  searches: {suite.searches}  "
+                  f"memo hits: {suite.memo_hits}  "
+                  f"site rejects: {suite.site_rejects}")
+            for row in suite.programs:
+                if row.improved:
+                    print(f"  {row.name}: {row.ni_merlin} -> "
+                          f"{row.ni_superopt} insns "
+                          f"({row.rewrites} rewrite(s))")
+        print(f"improved: {report.programs_improved} program(s) beyond "
+              f"Merlin-only")
+        if args.out:
+            print(f"wrote {args.out}")
+    ok = report.all_behavior_identical and report.all_certified
+    return 0 if ok else 1
+
+
 def cmd_serve(args) -> int:
     import json as _json
     import signal
@@ -515,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pgo", action="store_true",
                        help="with --merlin: profile-guided layout "
                             "(default training spec)")
+        p.add_argument("--superopt", action="store_true",
+                       help="with --merlin: caching superoptimizer tier "
+                            "(default search spec)")
         p.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
         p.add_argument("--prog-type", default="xdp",
                        choices=[t.value for t in ProgramType])
@@ -549,6 +607,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the per-pass translation-validation axis")
     f.add_argument("--no-layout", action="store_true",
                    help="skip the layout-on vs layout-off axis")
+    f.add_argument("--no-superopt", action="store_true",
+                   help="skip the superopt-on vs superopt-off axis")
     f.set_defaults(handler=cmd_fuzz)
 
     t = sub.add_parser("tv", help="certify per-pass semantic equivalence")
@@ -631,6 +691,30 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--json", action="store_true",
                     help="emit machine-readable results")
     lb.set_defaults(handler=cmd_bench_layout)
+
+    sb = sub.add_parser("bench-superopt",
+                        help="measure the caching superoptimizer tier "
+                             "(BENCH_superopt.json)")
+    sb.add_argument("--suite", default="sysdig,tetragon,tracee,xdp",
+                    help="comma-separated suites "
+                         "(sysdig,tetragon,tracee,xdp)")
+    sb.add_argument("--seed", type=int, default=2024)
+    sb.add_argument("--scale", type=float, default=0.2,
+                    help="trace-suite size scale (default: 0.2)")
+    sb.add_argument("--count", type=int, default=None,
+                    help="programs per suite (default: profile-derived)")
+    sb.add_argument("--tests", type=int, default=6,
+                    help="inputs per program (default: 6)")
+    sb.add_argument("--engine", default="fast",
+                    choices=["reference", "fast"],
+                    help="VM engine for the behaviour replay "
+                         "(default: fast)")
+    sb.add_argument("--out", default="BENCH_superopt.json",
+                    help="result file (default: BENCH_superopt.json; "
+                         "'' skips)")
+    sb.add_argument("--json", action="store_true",
+                    help="emit machine-readable results")
+    sb.set_defaults(handler=cmd_bench_superopt)
 
     s = sub.add_parser("serve",
                        help="run the optimization-as-a-service daemon")

@@ -20,6 +20,7 @@ from .pipeline import (
     OPTIMIZER_NAMES,
     compile_with_merlin,
 )
+from .superopt import SuperoptSpec, SuperoptimizerPass
 
 __all__ = [
     "BytecodeAnalysis",
@@ -51,4 +52,6 @@ __all__ = [
     "MerlinReport",
     "OPTIMIZER_NAMES",
     "compile_with_merlin",
+    "SuperoptSpec",
+    "SuperoptimizerPass",
 ]

@@ -36,6 +36,7 @@ from .pipeline import MerlinPipeline, MerlinReport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cache import CacheStats, CompilationCache
     from .bytecode_passes.layout import PgoSpec
+    from .superopt import SuperoptSpec
 
 
 @dataclass(frozen=True)
@@ -45,8 +46,10 @@ class CompileJob:
     ``entry=""`` selects the module's first function, mirroring the
     CLI's default.  ``pgo`` is an optional
     :class:`~repro.core.bytecode_passes.layout.PgoSpec` enabling the
-    profile-guided layout tier for this job (a frozen dataclass, so the
-    job stays hashable and picklable for worker processes).
+    profile-guided layout tier for this job, ``superopt`` an optional
+    :class:`~repro.core.superopt.SuperoptSpec` enabling the
+    superoptimizer tier (both frozen dataclasses, so the job stays
+    hashable and picklable for worker processes).
     """
 
     name: str
@@ -56,6 +59,7 @@ class CompileJob:
     mcpu: str = "v2"
     ctx_size: int = 64
     pgo: Optional["PgoSpec"] = None
+    superopt: Optional["SuperoptSpec"] = None
 
 
 @dataclass
@@ -146,7 +150,7 @@ def _compile_job(pipeline: MerlinPipeline, job: CompileJob,
     return pipeline.compile(
         func, module, prog_type=job.prog_type, mcpu=job.mcpu,
         ctx_size=job.ctx_size, cache=cache, validate=validate,
-        pgo=job.pgo)
+        pgo=job.pgo, superopt=job.superopt)
 
 
 def _optimize_one(spec: tuple, program: BpfProgram

@@ -157,10 +157,11 @@ class MerlinPipeline:
         cache: Optional["CompilationCache"] = None,
         validate=False,
         pgo=None,
+        superopt=None,
     ) -> Tuple[BpfProgram, MerlinReport]:
         """Full pipeline: baseline compile for reference, IR refinement,
-        re-compile, bytecode refinement, optional profile-guided layout,
-        optional verification.
+        re-compile, bytecode refinement, optional superoptimization,
+        optional profile-guided layout, optional verification.
 
         ``pgo`` enables the BOLT-style layout tier: pass a
         :class:`repro.core.bytecode_passes.layout.PgoSpec` (or ``True``
@@ -169,6 +170,16 @@ class MerlinPipeline:
         then hot/cold-split, straightened, and chain-reordered.  The
         spec's fingerprint is folded into the cache key, and under
         ``validate`` every re-layout carries its own certified witness.
+
+        ``superopt`` enables the caching windowed superoptimizer tier
+        (:mod:`repro.core.superopt`): pass a
+        :class:`~repro.core.superopt.SuperoptSpec` (or ``True`` for the
+        defaults) and every straightline window of the Merlin-optimized
+        bytecode is searched for a certified smaller equivalent.  It
+        runs after the hand-written passes and before layout; *cache*
+        doubles as the shared rewrite memo, so discoveries replay
+        across programs.  The spec's fingerprint is folded into the
+        cache key.
 
         ``compile`` is pure: the IR passes run on a private clone, so the
         caller's *func*/*module* are never mutated and a second call
@@ -192,6 +203,7 @@ class MerlinPipeline:
         certificate still raises, exactly like a fresh one.
         """
         pgo = self._pgo_spec(pgo)
+        superopt = self._superopt_spec(superopt)
         key = None
         if cache is not None:
             key = cache.key_for_function(
@@ -199,6 +211,8 @@ class MerlinPipeline:
                 prog_type=prog_type, mcpu=mcpu, ctx_size=ctx_size,
                 verify_after=self.verify_after, validate=bool(validate),
                 pgo=pgo.fingerprint() if pgo is not None else None,
+                superopt=(superopt.fingerprint()
+                          if superopt is not None else None),
             )
             hit = cache.get(key)
             if hit is not None:
@@ -230,6 +244,9 @@ class MerlinPipeline:
         program = compile_function(work_func, module, prog_type=prog_type,
                                    mcpu=mcpu, ctx_size=ctx_size)
         stats += self.optimize_bytecode(program, recorder=recorder)
+        if superopt is not None:
+            stats.append(self._apply_superopt(program, superopt, memo=cache,
+                                              recorder=recorder))
         if pgo is not None:
             stats.append(self._apply_layout(program, pgo, recorder=recorder))
         elapsed = time.perf_counter() - start
@@ -269,6 +286,34 @@ class MerlinPipeline:
         if isinstance(pgo, dict):
             return PgoSpec.from_dict(pgo)
         return pgo
+
+    @staticmethod
+    def _superopt_spec(superopt):
+        """Normalize the ``superopt`` argument: ``None``/``False`` ->
+        off, ``True`` -> default spec, mapping -> parsed spec."""
+        if superopt is None or superopt is False:
+            return None
+        from .superopt import SuperoptSpec
+
+        if superopt is True:
+            return SuperoptSpec()
+        if isinstance(superopt, dict):
+            return SuperoptSpec.from_dict(superopt)
+        return superopt
+
+    def _apply_superopt(self, program: BpfProgram, spec, memo=None,
+                        recorder=None) -> PassStats:
+        """Run the superoptimizer tier over the Merlin-optimized
+        bytecode.  *memo* is the shared rewrite-memo store (normally
+        the compilation cache itself)."""
+        from .superopt import SuperoptimizerPass
+
+        superopt = SuperoptimizerPass(spec, memo=memo)
+        if recorder is not None:
+            superopt.recorder = recorder
+        stats = superopt.run_timed(program)
+        stats.details.update(superopt.counters)
+        return stats
 
     def _apply_layout(self, program: BpfProgram, spec,
                       recorder=None) -> PassStats:
@@ -312,12 +357,15 @@ class MerlinPipeline:
         return _optimize_many(self, programs, jobs=jobs)
 
     def optimize_program(self, program: BpfProgram, validate=False,
-                         pgo=None) -> Tuple[BpfProgram, MerlinReport]:
+                         pgo=None, superopt=None,
+                         cache=None) -> Tuple[BpfProgram, MerlinReport]:
         """Bytecode tier only, for programs without IR (assembled code).
 
-        ``validate`` and ``pgo`` work as in :meth:`compile`
-        (bytecode-tier witnesses only)."""
+        ``validate``, ``pgo`` and ``superopt`` work as in
+        :meth:`compile` (bytecode-tier witnesses only); *cache* is only
+        used as the superopt rewrite-memo store here."""
         pgo = self._pgo_spec(pgo)
+        superopt = self._superopt_spec(superopt)
         recorder = None
         if validate:
             from ..tv import WitnessRecorder
@@ -327,6 +375,10 @@ class MerlinPipeline:
         optimized = program.copy()
         ni_before = program.ni
         stats = self.optimize_bytecode(optimized, recorder=recorder)
+        if superopt is not None:
+            stats.append(self._apply_superopt(optimized, superopt,
+                                              memo=cache,
+                                              recorder=recorder))
         if pgo is not None:
             stats.append(self._apply_layout(optimized, pgo,
                                             recorder=recorder))

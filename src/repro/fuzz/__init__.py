@@ -17,12 +17,14 @@ from .bisect import BisectResult, bisect_divergence
 from .corpus import reproducer_name, write_reproducer
 from .differential import (
     PASS_CONFIGS,
+    SUPEROPT_CONFIG,
     BaselineRecord,
     Divergence,
     build_program,
     check_config,
     check_engines,
     check_layout,
+    check_superopt,
     diff_case,
     observe_baseline,
     pass_sequence,
@@ -71,6 +73,7 @@ __all__ = [
     "LAYERS",
     "Observation",
     "PASS_CONFIGS",
+    "SUPEROPT_CONFIG",
     "TestCase",
     "bisect_divergence",
     "build_program",
@@ -78,6 +81,7 @@ __all__ = [
     "check_engines",
     "check_layout",
     "check_roundtrip",
+    "check_superopt",
     "count_statements",
     "ddmin",
     "diff_case",

@@ -272,6 +272,60 @@ def check_layout(case: GeneratedProgram, baseline: BaselineRecord,
     return None
 
 
+#: pseudo-config name the superopt-on/off axis reports under
+SUPEROPT_CONFIG = ("superopt",)
+
+
+def check_superopt(case: GeneratedProgram, baseline: BaselineRecord,
+                   kernel: KernelConfig = DEFAULT_KERNEL,
+                   ) -> Optional[Divergence]:
+    """Superopt-on vs superopt-off axis: run the windowed
+    superoptimizer over the baseline program and require identical
+    return value, fault behaviour, and map/memory state under **both**
+    VM engines.  Every rewrite the pass applied must carry a witness
+    the TV layer certifies; an uncertified rewrite is a divergence
+    even when behaviour agrees."""
+    from ..core.superopt import SuperoptimizerPass, SuperoptSpec
+    from ..tv import WitnessRecorder
+    from ..tv.regioncheck import validate_bytecode_witness
+
+    program = baseline.program.copy()
+    try:
+        superopt = SuperoptimizerPass(SuperoptSpec())
+        recorder = WitnessRecorder()
+        superopt.recorder = recorder
+        superopt.run(program)
+    except Exception as exc:
+        return Divergence(case, SUPEROPT_CONFIG, "build",
+                          detail=f"{type(exc).__name__}: {exc}")
+    for engine in ("reference", "fast"):
+        reference = observe_battery(baseline.program, baseline.tests,
+                                    seed=baseline.oracle_seed, engine=engine)
+        rewritten = observe_battery(program, baseline.tests,
+                                    seed=baseline.oracle_seed, engine=engine)
+        hit = first_divergence(reference, rewritten)
+        if hit is not None:
+            index, kind = hit
+            base, opt = reference[index], rewritten[index]
+            if kind == "fault":
+                detail = (f"[{engine}] superopt-off fault={base.fault} "
+                          f"superopt-on fault={opt.fault}")
+            elif kind == "return":
+                detail = (f"[{engine}] superopt-off "
+                          f"r0={base.return_value:#x} "
+                          f"superopt-on r0={opt.return_value:#x}")
+            else:
+                detail = f"[{engine}] map/memory/output state differs"
+            return Divergence(case, SUPEROPT_CONFIG, kind, index, detail)
+    for witness in recorder.witnesses:
+        cert = validate_bytecode_witness(witness)
+        if not cert.certified:
+            return Divergence(
+                case, SUPEROPT_CONFIG, "certificate",
+                detail=f"superopt witness not certified: {cert.detail}")
+    return None
+
+
 #: pseudo-config name the translation-validation axis reports under
 CERT_CONFIG = ("certificates",)
 
@@ -325,7 +379,8 @@ def diff_case(case: GeneratedProgram,
               oracle_seed: int = 7,
               engines: bool = True,
               certify: bool = True,
-              layout: bool = True) -> Optional[Divergence]:
+              layout: bool = True,
+              superopt: bool = True) -> Optional[Divergence]:
     """Run *case* under every config; first divergence wins."""
     baseline = observe_baseline(case, kernel, tests_per_program, oracle_seed)
     if engines:
@@ -338,6 +393,10 @@ def diff_case(case: GeneratedProgram,
             return divergence
     if layout:
         divergence = check_layout(case, baseline, kernel)
+        if divergence is not None:
+            return divergence
+    if superopt:
+        divergence = check_superopt(case, baseline, kernel)
         if divergence is not None:
             return divergence
     if certify:

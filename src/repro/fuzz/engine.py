@@ -28,6 +28,7 @@ from .differential import (
     check_config,
     check_engines,
     check_layout,
+    check_superopt,
     observe_baseline,
 )
 from .generator import LAYERS, GeneratedProgram, generate
@@ -111,7 +112,7 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
                  configs: Sequence[FrozenSet[str]], kernel: KernelConfig,
                  tests_per_program: int, minimize: bool,
                  engines: bool = True, certify: bool = True,
-                 layout: bool = True
+                 layout: bool = True, superopt: bool = True
                  ) -> Tuple[str, Optional[FuzzFinding]]:
     """Generate and triage one campaign index.
 
@@ -159,6 +160,14 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
             layout_divergence = check_layout(case, baseline, kernel)
             if layout_divergence is not None:
                 return status, FuzzFinding(layout_divergence)
+        if superopt:
+            # superopt-on vs superopt-off axis: windowed
+            # superoptimization must preserve behaviour under both
+            # engines and certify every rewrite.  A hit names the
+            # superopt pass directly, so it skips pass bisection.
+            superopt_divergence = check_superopt(case, baseline, kernel)
+            if superopt_divergence is not None:
+                return status, FuzzFinding(superopt_divergence)
         if certify:
             # translation-validation axis: every pass application of
             # the full pipeline must earn an equivalence certificate.
@@ -190,12 +199,13 @@ def _check_index(index: int, seed: int, layers: Sequence[str],
 def _campaign_slice(payload: tuple) -> List[Tuple[int, str, Optional[FuzzFinding]]]:
     """Worker entry point: triage a strided slice of campaign indices."""
     (seed, start, budget, stride, layers, configs, kernel,
-     tests_per_program, minimize, engines, certify, layout) = payload
+     tests_per_program, minimize, engines, certify, layout,
+     superopt) = payload
     out = []
     for index in range(start, budget, stride):
         status, finding = _check_index(index, seed, layers, configs, kernel,
                                        tests_per_program, minimize, engines,
-                                       certify, layout)
+                                       certify, layout, superopt)
         out.append((index, status, finding))
     return out
 
@@ -211,6 +221,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
                  engines: bool = True,
                  certify: bool = True,
                  layout: bool = True,
+                 superopt: bool = True,
                  progress=None) -> FuzzReport:
     """Run one differential-fuzzing campaign of *budget* programs.
 
@@ -231,6 +242,10 @@ def run_campaign(seed: int = 0, budget: int = 200,
     profile collected on its own oracle battery and requires identical
     behaviour (return/state/fault — counters excluded by design) under
     both VM engines, plus a certified witness for every layout rewrite.
+
+    ``superopt`` additionally runs the windowed superoptimizer over
+    every baseline program and requires identical behaviour under both
+    VM engines, plus a certified witness for every applied rewrite.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -241,7 +256,7 @@ def run_campaign(seed: int = 0, budget: int = 200,
         triaged = (
             (index, *_check_index(index, seed, layers, configs, kernel,
                                   tests_per_program, minimize, engines,
-                                  certify, layout))
+                                  certify, layout, superopt))
             for index in range(budget)
         )
         for index, status, finding in triaged:
@@ -250,7 +265,8 @@ def run_campaign(seed: int = 0, budget: int = 200,
     else:
         payloads = [
             (seed, start, budget, jobs, tuple(layers), tuple(configs),
-             kernel, tests_per_program, minimize, engines, certify, layout)
+             kernel, tests_per_program, minimize, engines, certify, layout,
+             superopt)
             for start in range(min(jobs, max(budget, 1)))
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -353,7 +353,8 @@ class OptimizationDaemon:
     def _memo_key(self, request: Request) -> tuple:
         return (request.source, request.entry, request.name,
                 request.prog_type, request.mcpu, request.ctx_size,
-                request.asm, request.pgo, request.config_key)
+                request.asm, request.pgo, request.superopt,
+                request.config_key)
 
     def _fast_path(self, pending: _Pending) -> bool:
         """Answer a repeat request straight from the warm cache.
@@ -408,7 +409,8 @@ class OptimizationDaemon:
                                prog_type=p.request.prog_type,
                                mcpu=p.request.mcpu,
                                ctx_size=p.request.ctx_size,
-                               pgo=p.request.pgo)
+                               pgo=p.request.pgo,
+                               superopt=p.request.superopt)
                     for p in members]
             validate = members[0].request.validate
             worker_jobs = self.config.jobs if self._pool is not None else 1
@@ -488,6 +490,17 @@ class OptimizationDaemon:
                 "profiled_runs": sum(s.details.get("profiled_runs", 0)
                                      for s in layout),
                 "spec": request.pgo.fingerprint(),
+            }
+        if request.superopt is not None:
+            superopt = [s for s in report.pass_stats
+                        if s.name == "superopt"]
+            result["superopt"] = {
+                "rewrites": sum(s.rewrites for s in superopt),
+                "searches": sum(s.details.get("searches", 0)
+                                for s in superopt),
+                "memo_hits": sum(s.details.get("memo_hits", 0)
+                                 for s in superopt),
+                "spec": request.superopt.fingerprint(),
             }
         if request.asm:
             from ..isa import disassemble

@@ -13,6 +13,8 @@ Requests::
     {"id": 2, "op": "validate", "source": "..."}   # compile + certify
     {"id": 6, "op": "compile", "source": "...",
      "pgo": {"tests": 8, "seed": 7}}               # profile-guided layout
+    {"id": 7, "op": "compile", "source": "...",
+     "superopt": {"window": 4, "iterations": 32}}  # superoptimizer tier
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "ping"}
     {"id": 5, "op": "shutdown"}
@@ -90,6 +92,9 @@ class Request:
     #: profile-guided layout spec (repro.core.bytecode_passes.layout
     #: .PgoSpec), or None; frozen, so the request stays hashable
     pgo: Optional[Any] = None
+    #: superoptimizer spec (repro.core.superopt.SuperoptSpec), or None;
+    #: frozen, so the request stays hashable
+    superopt: Optional[Any] = None
 
     @property
     def config_key(self) -> tuple:
@@ -204,10 +209,12 @@ def parse_request(line: Union[bytes, str]) -> Request:
         raise ProtocolError("bad-request", "asm must be a boolean",
                             request_id)
     pgo = _parse_pgo(obj.get("pgo", False), request_id)
+    superopt = _parse_superopt(obj.get("superopt", False), request_id)
     return Request(id=request_id, op=op, name=name, source=source,
                    entry=entry, prog_type=ProgramType(prog_type),
                    mcpu=mcpu, ctx_size=ctx_size, kernel=kernel,
-                   passes=passes, validate=validate, asm=asm, pgo=pgo)
+                   passes=passes, validate=validate, asm=asm, pgo=pgo,
+                   superopt=superopt)
 
 
 def _parse_pgo(value: Any, request_id: Any):
@@ -235,6 +242,33 @@ def _parse_pgo(value: Any, request_id: Any):
                 f"pgo field {key!r} must be a non-negative integer",
                 request_id)
     return PgoSpec.from_dict(value)
+
+
+def _parse_superopt(value: Any, request_id: Any):
+    """``superopt``: ``false``/absent -> off, ``true`` -> default spec,
+    or an object selecting the window/search parameters."""
+    if value is False:
+        return None
+    from ..core.superopt import SuperoptSpec
+
+    if value is True:
+        return SuperoptSpec()
+    if not isinstance(value, dict):
+        raise ProtocolError("bad-request",
+                            "superopt must be a boolean or an object",
+                            request_id)
+    unknown = set(value) - {"window", "iterations", "seed"}
+    if unknown:
+        raise ProtocolError("bad-request",
+                            f"unknown superopt fields: {sorted(unknown)}",
+                            request_id)
+    for key, val in value.items():
+        if not isinstance(val, int) or isinstance(val, bool) or val < 0:
+            raise ProtocolError(
+                "bad-request",
+                f"superopt field {key!r} must be a non-negative integer",
+                request_id)
+    return SuperoptSpec.from_dict(value)
 
 
 def ok_response(request_id: Any, result: dict) -> dict:

@@ -199,3 +199,79 @@ class TestSharedExecutor:
                                   executor=pool)
         assert signature(first) == signature(second)
         assert second.cache_stats.hits == len(BATCH)
+
+
+class TestSuperoptMemoContention:
+    """The superopt rewrite memo shares the same sharded store.  Under
+    racing writers the same contract holds: no torn entries, and a
+    fresh reader replays every window without searching."""
+
+    def _program(self):
+        from repro.isa import BpfProgram, assemble
+
+        return BpfProgram("memo", assemble(
+            "r1 = 10\nr1 += 5\nr2 = 1\nr2 += 0\nr0 = r1\nexit"))
+
+    def test_threads_share_memo_without_torn_entries(self, tmp_path):
+        from repro.core.superopt import (RewriteMemoEntry,
+                                         SuperoptimizerPass)
+
+        outputs = {}
+
+        def run(tag):
+            cache = CompilationCache(directory=str(tmp_path))
+            program = self._program()
+            SuperoptimizerPass(memo=cache).run(program)
+            outputs[tag] = program.insns
+
+        threads = [threading.Thread(target=run, args=(tag,))
+                   for tag in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(set(map(tuple, outputs.values()))) == 1
+        entries = list(every_disk_entry(tmp_path))
+        assert entries  # the memo really went to disk
+        for _path, entry in entries:
+            assert isinstance(entry, RewriteMemoEntry)
+
+        # a fresh process-equivalent reader replays without searching
+        fresh = CompilationCache(directory=str(tmp_path))
+        program = self._program()
+        warm = SuperoptimizerPass(memo=fresh)
+        warm.run(program)
+        assert warm.counters["searches"] == 0
+        assert warm.counters["memo_hits"] > 0
+        assert program.insns == outputs[0]
+
+    def test_worker_pool_shares_memo_store(self, tmp_path):
+        """Superopt compile jobs fanned over a process pool share one
+        memo directory; the warm pass hits on every compile key and
+        every disk entry (results and memo alike) stays readable."""
+        import dataclasses
+
+        from repro.core.superopt import RewriteMemoEntry, SuperoptSpec
+
+        batch = [dataclasses.replace(job, superopt=SuperoptSpec())
+                 for job in BATCH]
+        cache = CompilationCache(directory=str(tmp_path))
+        cold = MerlinPipeline().compile_many(batch, jobs=2, cache=cache)
+        assert cold.failed == 0
+
+        fresh = CompilationCache(directory=str(tmp_path))
+        warm = MerlinPipeline().compile_many(batch, cache=fresh)
+        assert warm.cache_stats.hits == len(batch)
+        assert signature(warm) == signature(cold)
+
+        kinds = {"result": 0, "memo": 0}
+        for _path, entry in every_disk_entry(tmp_path):
+            if isinstance(entry, RewriteMemoEntry):
+                kinds["memo"] += 1
+            else:
+                program, report = entry
+                assert program.ni == report.ni_optimized
+                kinds["result"] += 1
+        assert kinds["result"] == len(batch)
+        assert kinds["memo"] > 0

@@ -117,3 +117,42 @@ class TestSearch:
     def test_timing_recorded(self, xdp1):
         result = K2Optimizer(K2Config(iterations=200)).optimize(xdp1)
         assert result.seconds > 0
+
+
+class TestPinnedSearchOutcomes:
+    """Bit-identity lock on the K2 search after the proposal/cost
+    machinery moved into :mod:`repro.baselines.search`.
+
+    The superoptimizer tier reuses that machinery, so these pins hold
+    the *baseline* numbers fixed: every value below was captured from
+    the pre-refactor implementation.  A change here means the K2
+    baseline's RNG stream or cost model drifted — which silently
+    invalidates every published K2 comparison — so fix the drift, do
+    not re-pin.
+    """
+
+    DIGEST = ("8348d6c6af1249ef5d99ceb0b68fa58f"
+              "055ce6ccf5113a3b776959e2779e1734")
+
+    @staticmethod
+    def _digest(program):
+        import hashlib
+
+        return hashlib.sha256(
+            b"".join(insn.encode() for insn in program.insns)).hexdigest()
+
+    def test_seed3_pinned(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=300, seed=3)).optimize(xdp1)
+        assert result.ni_before == 32
+        assert result.ni_after == 29
+        assert result.iterations == 195
+        assert result.accepted == 9
+        assert self._digest(result.program) == self.DIGEST
+
+    def test_seed11_pinned(self, xdp1):
+        result = K2Optimizer(K2Config(iterations=200, seed=11)).optimize(xdp1)
+        assert result.ni_before == 32
+        assert result.ni_after == 29
+        assert result.iterations == 150
+        assert result.accepted == 4
+        assert self._digest(result.program) == self.DIGEST

@@ -612,3 +612,128 @@ class TestPoisonedBatch:
         assert all(not r["ok"] for r in responses)
         assert all(r["error"]["code"] == "compile-error"
                    for r in responses)
+
+
+# ================================================== superopt requests
+class TestSuperoptRequests:
+    """The ``superopt`` request field: parsing, admission-batch
+    grouping, the per-request result block, memoization separation,
+    and drain behaviour with poisoned superopt jobs."""
+
+    def test_parse_superopt_true_gives_default_spec(self):
+        from repro.core.superopt import SuperoptSpec
+        request = parse_request(
+            b'{"op": "compile", "source": "x", "superopt": true}')
+        assert request.superopt == SuperoptSpec()
+
+    def test_parse_superopt_dict(self):
+        request = parse_request(protocol.encode(
+            {"op": "compile", "source": "x",
+             "superopt": {"window": 3, "iterations": 8}}))
+        assert request.superopt.window == 3
+        assert request.superopt.iterations == 8
+        assert request.superopt.seed == 2024  # defaults fill in
+
+    def test_parse_superopt_absent_or_false_is_off(self):
+        assert parse_request(
+            b'{"op": "compile", "source": "x"}').superopt is None
+        assert parse_request(
+            b'{"op": "compile", "source": "x", "superopt": false}'
+        ).superopt is None
+
+    @pytest.mark.parametrize("superopt", [
+        "yes",                       # not a bool/dict
+        3,                           # not a bool/dict
+        {"iterations": -1},          # negative
+        {"window": True},            # bool masquerading as int
+        {"bogus": 1},                # unknown key
+        {"seed": "7"},               # wrong type
+    ])
+    def test_bad_superopt_rejected(self, superopt):
+        obj = {"op": "compile", "source": "x", "superopt": superopt}
+        with pytest.raises(ProtocolError) as info:
+            parse_request(protocol.encode(obj))
+        assert info.value.code == "bad-request"
+
+    def test_superopt_does_not_split_admission_groups(self):
+        """The spec rides on the CompileJob, so jobs with different
+        superopt settings batch into one ``compile_many`` window."""
+        plain = parse_request(protocol.encode(
+            {"op": "compile", "source": "x"}))
+        tuned = parse_request(protocol.encode(
+            {"op": "compile", "source": "x", "superopt": True}))
+        assert plain.config_key == tuned.config_key
+        assert tuned.superopt is not None
+
+    def test_superopt_compile_reports_counters(self, client):
+        from repro.core.superopt import SuperoptSpec
+        name, source = SOURCES[0]  # fold: constant math to collapse
+        response = client.compile(source, name=name, entry=name,
+                                  prog_type="tracepoint", superopt=True)
+        result = response["result"]
+        assert "superopt" in result
+        assert result["superopt"]["spec"] == SuperoptSpec().fingerprint()
+        assert result["superopt"]["searches"] >= 0
+        assert result["superopt"]["rewrites"] >= 0
+
+    def test_superopt_and_plain_memoize_separately(self):
+        config = ServeConfig(max_batch=4, max_delay=0.005)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                name, source = SOURCES[0]
+                plain = client.compile(source, name=name, entry=name,
+                                       prog_type="tracepoint")["result"]
+                tuned = client.compile(source, name=name, entry=name,
+                                       prog_type="tracepoint",
+                                       superopt=True)["result"]
+        assert "superopt" not in plain
+        assert tuned["cached"] is False  # its own cache entry
+        assert "superopt" in tuned
+        assert tuned["ni_optimized"] <= plain["ni_optimized"]
+
+    def test_mixed_superopt_batch_matches_sequential(self):
+        """One admission window mixing superopt-on and -off jobs must
+        return exactly what one-at-a-time compiles return."""
+        sequential = {}
+        config = ServeConfig(max_batch=1, max_delay=0.0)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                for name, source in SOURCES[:3]:
+                    for superopt in (False, True):
+                        response = client.compile(
+                            source, name=name, entry=name,
+                            prog_type="tracepoint", superopt=superopt)
+                        sequential[(name, superopt)] = response["result"]
+        config = ServeConfig(max_batch=8, max_delay=0.1)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                requests = [payload(name, source, superopt=superopt)
+                            for name, source in SOURCES[:3]
+                            for superopt in (False, True)]
+                responses = client.compile_pipelined(requests)
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            want = sequential[(request["name"], request["superopt"])]
+            got = response["result"]
+            assert got["ni_optimized"] == want["ni_optimized"]
+            assert got.get("superopt", {}).get("rewrites") == \
+                want.get("superopt", {}).get("rewrites")
+
+    def test_poisoned_superopt_batch_drains(self):
+        """A failing superopt job inside an admitted batch errors per
+        request while superopt siblings compile — and the daemon still
+        drains (no wedged batch group)."""
+        bad = "u64 boom(u8* ctx) { return undefined_symbol; }"
+        config = ServeConfig(max_batch=8, max_delay=0.1)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                requests = [payload(*SOURCES[0], superopt=True),
+                            payload("boom", bad, superopt=True),
+                            payload(*SOURCES[1], superopt=True)]
+                responses = client.compile_pipelined(requests)
+            # context exit runs stop(drain=True): a wedged superopt
+            # group would hang right here
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert responses[1]["error"]["code"] == "compile-error"
+        for index in (0, 2):
+            assert "superopt" in responses[index]["result"]
