@@ -361,26 +361,36 @@ def cmd_bench_vm(args) -> int:
                   f"{', '.join(VM_SUITES)})", file=sys.stderr)
             return 2
 
+    passes = None
+    if args.passes is not None:
+        passes = () if args.passes == "all" else \
+            tuple(p.strip() for p in args.passes.split(",") if p.strip())
     report = bench_vm(suites, seed=args.seed, scale=args.scale,
                       count=args.count, tests_per_program=args.tests,
-                      repeats=args.repeats)
+                      repeats=args.repeats, passes=passes,
+                      pgo=args.pgo, superopt=args.superopt)
     if args.out:
         report.write(args.out)
     if args.json:
         print(report.to_json())
     else:
+        print(f"config: passes={report.config['passes']} "
+              f"pgo={report.config['pgo']} "
+              f"superopt={report.config['superopt']}")
         for suite in report.suites:
             ref = suite.engines["reference"]
-            fast = suite.engines["fast"]
             verdict = "identical" if suite.identical else \
                 f"MISMATCH ({suite.mismatch})"
             print(f"{suite.suite}: {suite.programs} programs, "
                   f"{ref.runs} runs/engine — {verdict}")
-            print(f"  reference: {ref.insns_per_second / 1e3:8.0f} kinsns/s "
-                  f"({ref.instructions} insns in {ref.wall_seconds:.3f}s)")
-            print(f"  fast:      {fast.insns_per_second / 1e3:8.0f} kinsns/s "
-                  f"({fast.instructions} insns in {fast.wall_seconds:.3f}s)")
-            print(f"  speedup:   {suite.speedup:.2f}x")
+            for name in ("reference", "fast", "jit"):
+                m = suite.engines[name]
+                print(f"  {name + ':':10} {m.insns_per_second / 1e3:8.0f} "
+                      f"kinsns/s ({m.instructions} insns in "
+                      f"{m.wall_seconds:.3f}s)")
+            print(f"  speedup:   fast {suite.speedup:.2f}x, "
+                  f"jit {suite.jit_speedup:.2f}x "
+                  f"({suite.jit_over_fast:.2f}x over fast)")
         if args.out:
             print(f"wrote {args.out}")
     return 0 if report.all_identical else 1
@@ -663,6 +673,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inputs per program (default: 6)")
     v.add_argument("--repeats", type=int, default=8,
                    help="battery repetitions per program (default: 8)")
+    v.add_argument("--passes", default=None, metavar="P1,P2|all",
+                   help="optimize benchmark programs through Merlin "
+                        "first: a comma-separated pass subset, or 'all' "
+                        "for the full default set (default: baseline "
+                        "pipeline, no passes)")
+    v.add_argument("--pgo", action="store_true",
+                   help="also run the profile-guided layout tier")
+    v.add_argument("--superopt", action="store_true",
+                   help="also run the caching superoptimizer tier")
     v.add_argument("--out", default="BENCH_vm.json",
                    help="result file (default: BENCH_vm.json; '' skips)")
     v.add_argument("--json", action="store_true",

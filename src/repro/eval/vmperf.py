@@ -1,11 +1,18 @@
 """VM microbenchmark: interpreted-instructions-per-second per engine.
 
-Measures the two execution engines (``reference`` — the canonical
-if/elif interpreter — and ``fast`` — the pre-decoded fast-dispatch
-engine with superinstructions, :mod:`repro.vm.engine`) over the
+Measures the three execution engines (``reference`` — the canonical
+if/elif interpreter —, ``fast`` — the pre-decoded fast-dispatch
+engine with superinstructions, :mod:`repro.vm.engine` — and ``jit``
+— the whole-program method JIT, :mod:`repro.vm.engine.jit`) over the
 paper's workload suites, and cross-checks them while doing so: every
-run's return value and full counter tuple must agree, so a benchmark
-result doubles as an engine-equivalence certificate.
+run's return value and full counter tuple must agree with the
+reference, so a benchmark result doubles as an engine-equivalence
+certificate.
+
+The benchmark defaults to pipeline-baseline bytecode (the engines are
+what is under test), but the Merlin tiers can be layered on with
+``passes``/``pgo``/``superopt`` so fully optimized programs are
+measured too; the chosen configuration is recorded in the report.
 
 Timing covers the steady-state ``Machine.run`` loop only.  Decode/bind
 cost is excluded deliberately — the decode is content-cached process-
@@ -35,15 +42,34 @@ VM_SUITES = ("sysdig", "tetragon", "tracee", "xdp")
 
 
 def _suite_programs(suite: str, seed: int, scale: float,
-                    count: Optional[int]) -> List[BpfProgram]:
-    """Compile the benchmark programs for *suite* (baseline pipeline,
-    no Merlin passes — the engines are what is under test).  Generated
-    trace programs that exceed toolchain limits at this seed are
-    skipped, like every other suite consumer does."""
+                    count: Optional[int],
+                    passes: Optional[Sequence[str]] = None,
+                    pgo: bool = False,
+                    superopt: bool = False) -> List[BpfProgram]:
+    """Compile the benchmark programs for *suite*.
+
+    With no optimization arguments this is the baseline pipeline — no
+    Merlin passes, the engines are what is under test.  *passes* (a
+    pass-name subset, or an empty sequence for the full default set)
+    routes compilation through :class:`~repro.core.MerlinPipeline`,
+    and *pgo*/*superopt* enable the layout and superoptimizer tiers.
+    Generated trace programs that exceed toolchain limits at this seed
+    are skipped, like every other suite consumer does."""
+    optimize = passes is not None or pgo or superopt
+    kwargs: dict = {}
+    if optimize:
+        kwargs = {
+            "optimize": True,
+            "pgo": pgo or None,
+            "superopt": superopt or None,
+        }
+        if passes:
+            kwargs["enabled"] = frozenset(passes)
     if suite == "xdp":
         from ..workloads.xdp import ALL_XDP, compile_workload
 
-        programs = [compile_workload(workload) for workload in ALL_XDP]
+        programs = [compile_workload(workload, **kwargs)
+                    for workload in ALL_XDP]
         if count is not None:
             programs = programs[:count]
         return programs
@@ -53,7 +79,7 @@ def _suite_programs(suite: str, seed: int, scale: float,
     for generated in generate_suite(suite, seed=seed, scale=scale,
                                     count=count):
         try:
-            programs.append(compile_suite_program(generated))
+            programs.append(compile_suite_program(generated, **kwargs))
         except Exception:
             continue
     return programs
@@ -87,7 +113,7 @@ class EngineMeasurement:
 
 @dataclass
 class SuitePerf:
-    """Both engines measured over one suite, with the equivalence
+    """Every engine measured over one suite, with the equivalence
     verdict collected along the way."""
 
     suite: str
@@ -96,11 +122,26 @@ class SuitePerf:
     identical: bool
     mismatch: str = ""
 
+    def speedup_over_reference(self, engine: str) -> float:
+        ref = self.engines["reference"].insns_per_second
+        other = self.engines[engine].insns_per_second
+        return other / ref if ref else 0.0
+
     @property
     def speedup(self) -> float:
-        ref = self.engines["reference"].insns_per_second
+        """fast-over-reference (the historical headline key)."""
+        return self.speedup_over_reference("fast")
+
+    @property
+    def jit_speedup(self) -> float:
+        """jit-over-reference."""
+        return self.speedup_over_reference("jit")
+
+    @property
+    def jit_over_fast(self) -> float:
         fast = self.engines["fast"].insns_per_second
-        return fast / ref if ref else 0.0
+        jit = self.engines["jit"].insns_per_second
+        return jit / fast if fast else 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -109,6 +150,8 @@ class SuitePerf:
             "identical": self.identical,
             "mismatch": self.mismatch,
             "speedup": round(self.speedup, 3),
+            "jit_speedup": round(self.jit_speedup, 3),
+            "jit_over_fast": round(self.jit_over_fast, 3),
             "engines": {name: m.to_dict() for name, m in self.engines.items()},
         }
 
@@ -120,6 +163,7 @@ class VmBenchReport:
     seed: int
     repeats: int
     tests_per_program: int
+    config: Dict[str, object] = field(default_factory=dict)
     suites: List[SuitePerf] = field(default_factory=list)
 
     @property
@@ -131,6 +175,7 @@ class VmBenchReport:
             "seed": self.seed,
             "repeats": self.repeats,
             "tests_per_program": self.tests_per_program,
+            "config": self.config,
             "all_identical": self.all_identical,
             "suites": [suite.to_dict() for suite in self.suites],
         }
@@ -194,9 +239,12 @@ def _run_engine(programs: Sequence[BpfProgram],
 
 def bench_suite(suite: str, seed: int = 2024, scale: float = 0.2,
                 count: Optional[int] = None, tests_per_program: int = 6,
-                repeats: int = 8, max_insns: int = 200_000) -> SuitePerf:
+                repeats: int = 8, max_insns: int = 200_000,
+                passes: Optional[Sequence[str]] = None,
+                pgo: bool = False, superopt: bool = False) -> SuitePerf:
     """Measure every engine over one suite with identical inputs."""
-    programs = _suite_programs(suite, seed, scale, count)
+    programs = _suite_programs(suite, seed, scale, count,
+                               passes=passes, pgo=pgo, superopt=superopt)
     batteries = [
         generate_tests(program, count=tests_per_program, seed=seed + index)
         for index, program in enumerate(programs)
@@ -206,14 +254,19 @@ def bench_suite(suite: str, seed: int = 2024, scale: float = 0.2,
     for engine in ENGINES:
         engines[engine], traces[engine] = _run_engine(
             programs, batteries, engine, seed, repeats, max_insns)
-    identical = traces["reference"] == traces["fast"]
+    identical = True
     mismatch = ""
-    if not identical:
-        for index, (ref, fast) in enumerate(
-                zip(traces["reference"], traces["fast"])):
-            if ref != fast:
-                mismatch = (f"run {index}: reference={ref!r} fast={fast!r}")
+    reference = traces["reference"]
+    for engine in ENGINES:
+        if engine == "reference" or traces[engine] == reference:
+            continue
+        identical = False
+        for index, (ref, other) in enumerate(zip(reference, traces[engine])):
+            if ref != other:
+                mismatch = (f"run {index}: reference={ref!r} "
+                            f"{engine}={other!r}")
                 break
+        break
     return SuitePerf(suite=suite, programs=len(programs), engines=engines,
                      identical=identical, mismatch=mismatch)
 
@@ -221,10 +274,23 @@ def bench_suite(suite: str, seed: int = 2024, scale: float = 0.2,
 def bench_vm(suites: Sequence[str] = ("sysdig", "xdp"), seed: int = 2024,
              scale: float = 0.2, count: Optional[int] = None,
              tests_per_program: int = 6, repeats: int = 8,
-             max_insns: int = 200_000) -> VmBenchReport:
+             max_insns: int = 200_000,
+             passes: Optional[Sequence[str]] = None,
+             pgo: bool = False, superopt: bool = False) -> VmBenchReport:
     """The whole ``repro bench-vm`` measurement."""
-    report = VmBenchReport(seed=seed, repeats=repeats,
-                           tests_per_program=tests_per_program)
+    if passes is None:
+        passes_cfg: object = "baseline"
+    elif not list(passes):
+        passes_cfg = "all"
+    else:
+        passes_cfg = sorted(passes)
+    report = VmBenchReport(
+        seed=seed, repeats=repeats, tests_per_program=tests_per_program,
+        config={
+            "passes": passes_cfg,
+            "pgo": bool(pgo),
+            "superopt": bool(superopt),
+        })
     for suite in suites:
         if suite not in VM_SUITES:
             raise ValueError(
@@ -233,5 +299,6 @@ def bench_vm(suites: Sequence[str] = ("sysdig", "xdp"), seed: int = 2024,
         report.suites.append(
             bench_suite(suite, seed=seed, scale=scale, count=count,
                         tests_per_program=tests_per_program,
-                        repeats=repeats, max_insns=max_insns))
+                        repeats=repeats, max_insns=max_insns,
+                        passes=passes, pgo=pgo, superopt=superopt))
     return report

@@ -181,39 +181,46 @@ def check_config(case: GeneratedProgram, enabled: FrozenSet[str],
 #: pseudo-config name the engine axis reports divergences under
 ENGINE_CONFIG = ("engine=fast",)
 
+#: accelerated engines certified against the reference interpreter
+CHECKED_ENGINES = ("fast", "jit")
+
 
 def check_engines(case: GeneratedProgram, baseline: BaselineRecord,
                   kernel: KernelConfig = DEFAULT_KERNEL,
+                  engines: Sequence[str] = CHECKED_ENGINES,
                   ) -> Optional[Divergence]:
     """Engine-vs-engine axis: run the baseline program on the reference
-    interpreter and the pre-decoded fast engine and require *bit-exact*
-    agreement — return value, fault behaviour, map/memory state, and
-    (unlike pass configs, where they legitimately differ) every perf
-    counter.  A mismatch is a bug in :mod:`repro.vm.engine`, not in an
-    optimizer, so callers skip pass bisection for these findings."""
+    interpreter and every accelerated engine (the pre-decoded fast
+    engine and the method JIT) and require *bit-exact* agreement —
+    return value, fault behaviour, map/memory state, and (unlike pass
+    configs, where they legitimately differ) every perf counter.  A
+    mismatch is a bug in :mod:`repro.vm.engine`, not in an optimizer,
+    so callers skip pass bisection for these findings."""
     program = baseline.program
     reference = observe_battery(program, baseline.tests,
                                 seed=baseline.oracle_seed,
                                 include_counters=True)
-    fast = observe_battery(program, baseline.tests,
-                           seed=baseline.oracle_seed,
-                           engine="fast", include_counters=True)
-    hit = first_divergence(reference, fast)
-    if hit is None:
-        return None
-    index, kind = hit
-    ref, opt = reference[index], fast[index]
-    if kind == "fault":
-        detail = f"reference fault={ref.fault} fast fault={opt.fault}"
-    elif kind == "return":
-        detail = (f"reference r0={ref.return_value:#x} "
-                  f"fast r0={opt.return_value:#x}")
-    elif kind == "counters":
-        detail = (f"reference counters={ref.counters} "
-                  f"fast counters={opt.counters}")
-    else:
-        detail = "map/memory/output state differs between engines"
-    return Divergence(case, ENGINE_CONFIG, kind, index, detail)
+    for engine in engines:
+        observed = observe_battery(program, baseline.tests,
+                                   seed=baseline.oracle_seed,
+                                   engine=engine, include_counters=True)
+        hit = first_divergence(reference, observed)
+        if hit is None:
+            continue
+        index, kind = hit
+        ref, opt = reference[index], observed[index]
+        if kind == "fault":
+            detail = f"reference fault={ref.fault} {engine} fault={opt.fault}"
+        elif kind == "return":
+            detail = (f"reference r0={ref.return_value:#x} "
+                      f"{engine} r0={opt.return_value:#x}")
+        elif kind == "counters":
+            detail = (f"reference counters={ref.counters} "
+                      f"{engine} counters={opt.counters}")
+        else:
+            detail = "map/memory/output state differs between engines"
+        return Divergence(case, (f"engine={engine}",), kind, index, detail)
+    return None
 
 
 #: pseudo-config name the layout axis reports divergences under

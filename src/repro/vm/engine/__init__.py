@@ -1,12 +1,19 @@
-"""repro.vm.engine — pre-decoded fast-dispatch execution engine.
+"""repro.vm.engine — accelerated execution engines for the VM.
 
-Selected with ``Machine(program, engine="fast")``.  The program is
-decoded once into a flat array of specialized handler closures (cached
-process-wide by bytecode content key), straight-line runs are fused
-into compiled superinstructions, and the dispatch loop becomes
-``pc = handlers[pc](regs)``.  Results are bit-identical to the
-reference interpreter — same return values, counters, fault messages,
-and memory/map effects.
+Two tiers above the reference interpreter, both bit-identical to it —
+same return values, counters, fault messages, and memory/map effects:
+
+* ``Machine(program, engine="fast")`` — the program is decoded once
+  into a flat array of specialized handler closures (cached
+  process-wide by bytecode content key), straight-line runs are fused
+  into compiled superinstructions, and the dispatch loop becomes
+  ``pc = handlers[pc](regs)``.
+* ``Machine(program, engine="jit")`` — the whole program is compiled
+  through :mod:`.regions` into one generated-Python function (loops
+  become ``while``, conditionals become ``if``/``else``, helpers and
+  map ops inline behind guards), deoptimizing onto the fast engine's
+  dispatch loop when a guard fails.  Code objects are cached
+  content-keyed exactly like decodes.
 """
 
 from .decode import (
@@ -15,22 +22,46 @@ from .decode import (
     DecodeCacheStats,
     FastExecution,
     bind_machine,
+    check_budget_fault,
     clear_decode_cache,
     decode_cache_stats,
     decode_program,
 )
+from .jit import (
+    JIT_CACHE_CAPACITY,
+    JitExecution,
+    JitProgram,
+    bind_jit,
+    clear_jit_cache,
+    compile_jit_program,
+    jit_cache_stats,
+)
+from .regions import Cfg, CfgBlock, Relooper, StructureError, build_cfg
 from .superblock import MIN_BLOCK_LEN, SuperBlock, find_blocks
 
 __all__ = [
     "DECODE_CACHE_CAPACITY",
+    "JIT_CACHE_CAPACITY",
+    "Cfg",
+    "CfgBlock",
     "DecodedProgram",
     "DecodeCacheStats",
     "FastExecution",
+    "JitExecution",
+    "JitProgram",
     "MIN_BLOCK_LEN",
+    "Relooper",
+    "StructureError",
     "SuperBlock",
+    "bind_jit",
     "bind_machine",
+    "build_cfg",
+    "check_budget_fault",
     "clear_decode_cache",
+    "clear_jit_cache",
+    "compile_jit_program",
     "decode_cache_stats",
     "decode_program",
     "find_blocks",
+    "jit_cache_stats",
 ]

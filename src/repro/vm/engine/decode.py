@@ -657,10 +657,23 @@ def _bind_block(block: SuperBlock, machine, budget, singles):
     return h
 
 
+def check_budget_fault(exc: VmFault, executed: int, max_insns: int) -> None:
+    """Runtime guard against batched-accounting drift: a budget-exhaustion
+    fault is only correct if exactly ``max_insns`` instructions were
+    counted when it fired — the reference interpreter counts one at a
+    time, so any batching scheme that loses or double-counts would land
+    the fault on the wrong slot with a different counter total."""
+    if str(exc) == _BUDGET_MSG and executed != max_insns:
+        raise AssertionError(
+            f"budget accounting drift: counted {executed} instructions "
+            f"at exhaustion, expected {max_insns}") from exc
+
+
 class FastExecution:
     """A :class:`DecodedProgram` bound to one Machine's models."""
 
-    __slots__ = ("decoded", "handlers", "singles", "_budget", "_max_insns")
+    __slots__ = ("decoded", "handlers", "singles", "_budget", "_max_insns",
+                 "_counters")
 
     def __init__(self, decoded: DecodedProgram, machine) -> None:
         budget = [0]
@@ -673,17 +686,23 @@ class FastExecution:
         self.singles = singles
         self._budget = budget
         self._max_insns = machine.max_insns
+        self._counters = machine.counters
 
     def execute(self, regs: List[int]) -> int:
         budget = self._budget
         budget[0] = self._max_insns
         handlers = self.handlers
+        counted = self._counters.instructions
         pc = 0
         try:
             while True:
                 pc = handlers[pc](regs)
         except _Exit:
             return regs[op.R0]
+        except VmFault as exc:
+            check_budget_fault(exc, self._counters.instructions - counted,
+                               self._max_insns)
+            raise
 
 
 def bind_machine(machine) -> FastExecution:

@@ -100,12 +100,21 @@ def _is_memop(insn: Instruction) -> bool:
     return _is_load(insn) or _is_store(insn)
 
 
+def _is_ld64(insn: Instruction) -> bool:
+    return (insn.opcode & op.CLASS_MASK) == op.BPF_LD and insn.is_ld_imm64
+
+
 def _base_reg(insn: Instruction) -> int:
     return insn.src if _is_load(insn) else insn.dst
 
 
-def _fusable(insn: Instruction) -> bool:
-    """Can *insn* live inside a superblock at all?"""
+def _fusable(insn: Instruction, allow_ld64: bool = False) -> bool:
+    """Can *insn* live inside a fused run at all?
+
+    ``allow_ld64`` admits ``ld_imm64`` (a pure constant definition) —
+    the method JIT uses this so a map-fd load no longer splits a run;
+    superblock discovery keeps the historical exclusion (its dispatch
+    loop counts slots, not instructions)."""
     if _is_alu(insn):
         aop = insn.opcode & op.ALU_OP_MASK
         if aop not in cost.ALU_COST:
@@ -115,6 +124,8 @@ def _fusable(insn: Instruction) -> bool:
         return True
     if _is_memop(insn):
         return insn.size_bytes in _PACKERS
+    if allow_ld64 and _is_ld64(insn):
+        return True
     return False
 
 
@@ -248,6 +259,9 @@ def _address_slice(members: Sequence[Instruction]
             needed[j] = True
             want.discard(insn.dst)
             want.update(_alu_reads(insn))
+        elif _is_ld64(insn) and insn.dst in want:
+            needed[j] = True  # a pure constant definition, no reads
+            want.discard(insn.dst)
         if _is_memop(insn):
             base = _base_reg(insn)
             if _is_load(insn) and insn.dst in want:
@@ -263,40 +277,60 @@ def _addr_expr(local: str, off: int) -> str:
     return f"({local} + {off}) & {_U64:#x}"
 
 
-def _compile_block(start: int, members: List[Instruction]) -> SuperBlock:
+def run_sources(members: Sequence[Instruction], memo_base: int = 0
+                ) -> Tuple[List[str], List[str], int]:
+    """Generate the two-phase source for one fused run of *members*
+    (every member :func:`_fusable`, ``allow_ld64`` included).
+
+    Returns ``(phase1, commit, n_memops)``:
+
+    * *phase1* — the side-effect-free validation lines: entry-register
+      snapshots, the address slice re-run on ``_p`` locals, and one
+      region resolution per memory op.  The only thing phase 1 can
+      raise is :class:`~repro.vm.memory.MemoryFault` from ``find``.
+    * *commit* — the committed execution in program order on ``_r``
+      locals, charging ``cache.access`` per memory op, ending with the
+      register writeback.  Nothing in it can fault.
+
+    Memo slots are numbered from *memo_base* so a whole-program caller
+    (the JIT) can lay every run's sites out in one flat memo list; the
+    superblock binder passes 0 and a per-block memo.  Expected locals:
+    ``regs, find, access, counters, memo``.
+    """
     needed, p_entry = _address_slice(members)
     p_name = lambda r: f"_p{r}"
     r_name = lambda r: f"_r{r}"
 
-    body: List[str] = []
-    # ---- phase 1: address slice + validation (side-effect free)
+    phase1: List[str] = []
     for r in sorted(p_entry):
-        body.append(f"_p{r} = regs[{r}]")
+        phase1.append(f"_p{r} = regs[{r}]")
     memop_index: Dict[int, int] = {}
     mem_count = 0
     for j, insn in enumerate(members):
         if needed[j]:
-            body.extend(_alu_source(insn, p_name))
+            if _is_ld64(insn):
+                phase1.append(f"_p{insn.dst} = {insn.imm & _U64:#x}")
+            else:
+                phase1.extend(_alu_source(insn, p_name))
         if _is_memop(insn):
-            memop_index[j] = mem_count
+            memop_index[j] = memo_base + mem_count
             size = insn.size_bytes
-            body.append(
-                f"_a{mem_count} = "
-                f"{_addr_expr(p_name(_base_reg(insn)), insn.off)}"
+            m = memo_base + mem_count
+            phase1.append(
+                f"_a{m} = {_addr_expr(p_name(_base_reg(insn)), insn.off)}"
             )
             # per-site region memo: each memop site almost always hits
             # the same region every execution, so re-validate the cached
             # region against its live bounds and only fall back to
             # find() on first use or after the region changes (the
             # binder clears ``memo`` whenever memory.version moves)
-            m = mem_count
-            body.append(f"_g{m} = memo[{m}]")
-            body.append(
+            phase1.append(f"_g{m} = memo[{m}]")
+            phase1.append(
                 f"if _g{m} is None or _g{m}.base > _a{m} "
                 f"or _a{m} + {size} > _g{m}.base + len(_g{m}.data):"
             )
-            body.append(f"    _g{m} = find(_a{m}, {size})")
-            body.append(f"    memo[{m}] = _g{m}")
+            phase1.append(f"    _g{m} = find(_a{m}, {size})")
+            phase1.append(f"    memo[{m}] = _g{m}")
             mem_count += 1
 
     # ---- phase 2: committed execution in program order
@@ -309,6 +343,9 @@ def _compile_block(start: int, members: List[Instruction]) -> SuperBlock:
                 if r not in defined:
                     r_entry.add(r)
             phase2.extend(_alu_source(insn, r_name))
+            defined.add(insn.dst)
+        elif _is_ld64(insn):
+            phase2.append(f"_r{insn.dst} = {insn.imm & _U64:#x}")
             defined.add(insn.dst)
         elif _is_load(insn):
             m = memop_index[j]
@@ -332,12 +369,18 @@ def _compile_block(start: int, members: List[Instruction]) -> SuperBlock:
             phase2.append(
                 f"_pk{size}(_g{m}.data, _a{m} - _g{m}.base, {value})"
             )
+    commit: List[str] = []
     for r in sorted(r_entry):
-        body.append(f"_r{r} = regs[{r}]")
-    body.extend(phase2)
+        commit.append(f"_r{r} = regs[{r}]")
+    commit.extend(phase2)
     for r in sorted(defined):
-        body.append(f"regs[{r}] = _r{r}")
+        commit.append(f"regs[{r}] = _r{r}")
+    return phase1, commit, mem_count
 
+
+def _compile_block(start: int, members: List[Instruction]) -> SuperBlock:
+    phase1, commit, mem_count = run_sources(members)
+    body = phase1 + commit
     if not body:  # pragma: no cover - blocks always have members
         body = ["pass"]
     source = ("def _superblock(regs, find, access, counters, memo):\n"

@@ -44,7 +44,7 @@ class RunResult:
 
 
 #: engines selectable via ``Machine(engine=...)``
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "jit")
 
 #: the kernel-stack poison pattern, allocated once (not per run)
 _STACK_FILL = b"\xa5" * op.STACK_SIZE
@@ -56,8 +56,11 @@ class Machine:
     ``engine`` selects the execution engine: ``"reference"`` is the
     canonical if/elif interpreter below; ``"fast"`` is the pre-decoded
     fast-dispatch engine (:mod:`repro.vm.engine`) with basic-block
-    superinstructions.  Both produce bit-identical :class:`RunResult`s
-    and machine state.
+    superinstructions; ``"jit"`` compiles the whole program into one
+    generated-Python function (:mod:`repro.vm.engine.jit`) with loop
+    regions and guard specialization, deoptimizing onto the fast
+    engine's dispatch loop when a guard fails.  All three produce
+    bit-identical :class:`RunResult`s and machine state.
     """
 
     def __init__(
@@ -97,6 +100,10 @@ class Machine:
             from .engine import bind_machine
 
             self._fast = bind_machine(self)
+        elif engine == "jit":
+            from .engine.jit import bind_jit
+
+            self._fast = bind_jit(self)
 
     @staticmethod
     def _expand_slots(insns: List[Instruction]) -> List[Optional[Instruction]]:
@@ -111,6 +118,33 @@ class Machine:
     def touch_memory(self, addr: int, size: int) -> None:
         """Route helper-internal memory traffic through the cache model."""
         self.counters.cycles += self.cache.access(addr, size)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Engine-level statistics: the shared content-keyed caches
+        (decode + JIT code objects) and, for the jit engine, this
+        machine's compilation/deopt details."""
+        from .engine import decode_cache_stats
+        from .engine.jit import JitExecution, jit_cache_stats
+
+        decode = decode_cache_stats()
+        jit = jit_cache_stats()
+        stats: Dict[str, object] = {
+            "engine": self.engine,
+            "decode_cache": {
+                "hits": decode.hits,
+                "misses": decode.misses,
+                "hit_rate": decode.hit_rate,
+            },
+            "jit_cache": {
+                "hits": jit.hits,
+                "misses": jit.misses,
+                "hit_rate": jit.hit_rate,
+            },
+        }
+        if isinstance(self._fast, JitExecution):
+            stats["jit"] = self._fast.stats
+        return stats
 
     #: XDP headroom available for xdp_adjust_head (XDP_PACKET_HEADROOM)
     PACKET_HEADROOM = 256

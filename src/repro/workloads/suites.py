@@ -296,12 +296,16 @@ def generate_suite(name: str, seed: int = 2024, scale: float = 1.0,
 
 def compile_suite_program(program: SuiteProgram, optimize: bool = False,
                           mcpu: Optional[str] = None, cache=None,
+                          pgo=None, superopt=None,
                           **pipeline_kwargs) -> BpfProgram:
     """Compile one suite program (optionally through Merlin).
 
     *cache* is a :class:`repro.cache.CompilationCache`; repeated suite
     builds (ablations, overhead sweeps) are then served content-
-    addressed instead of recompiled.
+    addressed instead of recompiled.  *pgo* and *superopt* forward to
+    :meth:`MerlinPipeline.compile` (the layout and superoptimizer
+    tiers); the remaining keyword arguments configure the pipeline
+    itself (``enabled``, ``kernel``, ...).
     """
     module = compile_source(program.source, program.name)
     func = module.get(program.entry)
@@ -313,6 +317,7 @@ def compile_suite_program(program: SuiteProgram, optimize: bool = False,
         compiled, _ = pipeline.compile(
             func, module, prog_type=ProgramType.TRACEPOINT,
             mcpu=suite_mcpu, ctx_size=TRACE_CTX_SIZE, cache=cache,
+            pgo=pgo, superopt=superopt,
         )
         return compiled
     from ..codegen import compile_function

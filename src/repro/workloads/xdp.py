@@ -811,8 +811,12 @@ XDP_CTX_SIZE = 24
 
 
 def compile_workload(workload: XdpWorkload, optimize: bool = False,
+                     pgo=None, superopt=None,
                      **pipeline_kwargs) -> BpfProgram:
-    """Compile one XDP workload, optionally through Merlin."""
+    """Compile one XDP workload, optionally through Merlin.
+
+    *pgo* and *superopt* forward to :meth:`MerlinPipeline.compile`;
+    remaining keyword arguments configure the pipeline itself."""
     module = compile_source(workload.source, workload.name)
     func = module.get(workload.entry)
     if optimize:
@@ -821,7 +825,8 @@ def compile_workload(workload: XdpWorkload, optimize: bool = False,
         pipeline = MerlinPipeline(**pipeline_kwargs)
         program, _ = pipeline.compile(func, module,
                                       prog_type=ProgramType.XDP,
-                                      ctx_size=XDP_CTX_SIZE)
+                                      ctx_size=XDP_CTX_SIZE,
+                                      pgo=pgo, superopt=superopt)
         return program
     from ..codegen import compile_function
 

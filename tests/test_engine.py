@@ -1,9 +1,10 @@
-"""Fast-engine tests: cross-engine equality, superblocks, decode cache.
+"""Engine tests: cross-engine equality, superblocks, decode cache.
 
-The fast engine must be observationally *bit-identical* to the
+Every non-reference engine (the fast pre-decoded dispatcher and the
+whole-program jit) must be observationally *bit-identical* to the
 reference interpreter: same return value, same fault (type and
 message), same perf counters, same memory/map effects.  Every test
-here runs both engines and compares everything.
+here runs all engines and compares everything.
 """
 
 import dataclasses
@@ -41,8 +42,11 @@ def observe(program: BpfProgram, ctx: bytes = b"", packet=None,
 def assert_engines_agree(program: BpfProgram, ctx: bytes = b"", packet=None,
                          max_insns: int = 200_000):
     reference = observe(program, ctx, packet, "reference", max_insns)
-    fast = observe(program, ctx, packet, "fast", max_insns)
-    assert reference == fast
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        seen = observe(program, ctx, packet, engine, max_insns)
+        assert seen == reference, f"{engine} diverged from reference"
     return reference
 
 
