@@ -11,6 +11,18 @@ The disk layout is ``<dir>/<digest[:2]>/<digest>.pkl`` (git-style
 sharding keeps directories small at fleet scale); writes go through a
 temp file + ``os.replace`` so concurrent writers — e.g. the parallel
 batch compiler's worker processes — can never expose a torn entry.
+
+Fleet-sized stores need a retention policy too: ``ttl_seconds`` expires
+entries that have not been *touched* (written or read) for that long,
+and ``max_disk_bytes`` bounds the tree with an LRU :meth:`sweep` (disk
+hits touch the entry's mtime, so mtime order is access order).  Both
+removal paths go through an atomic tombstone — ``os.replace`` the entry
+to a ``.tomb-*`` name, then unlink — so exactly one of N racing
+evictors claims each entry (the loser's rename raises) and counters
+never double-count.  A reader that already opened the file keeps its
+fd across the unlink (POSIX), so eviction can never tear an in-flight
+read; a reader that arrives after the rename sees a plain miss and
+recompiles.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
@@ -43,11 +56,13 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    evictions: int = 0
+    evictions: int = 0        # memory-LRU overflow
     memory_hits: int = 0
     disk_hits: int = 0
     write_errors: int = 0
     read_errors: int = 0
+    expired: int = 0          # TTL removals (memory or disk)
+    disk_evictions: int = 0   # size-budget sweep removals
 
     @property
     def lookups(self) -> int:
@@ -66,6 +81,8 @@ class CacheStats:
         self.disk_hits += other.disk_hits
         self.write_errors += other.write_errors
         self.read_errors += other.read_errors
+        self.expired += other.expired
+        self.disk_evictions += other.disk_evictions
 
     def to_dict(self) -> dict:
         return {
@@ -77,6 +94,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "write_errors": self.write_errors,
             "read_errors": self.read_errors,
+            "expired": self.expired,
+            "disk_evictions": self.disk_evictions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -88,6 +107,12 @@ class CompilationCache:
     least-recently-used entry (still recoverable from disk when a
     ``directory`` is configured).  ``directory=None`` keeps the cache
     purely in-memory.
+
+    ``ttl_seconds`` is an *idle* TTL: an entry untouched (no store, no
+    hit) for that long is expired on next sight — lazily at lookup and
+    eagerly by :meth:`sweep`.  ``max_disk_bytes`` is the disk-tree size
+    budget :meth:`sweep` enforces LRU-first; neither bound is enforced
+    unless set, keeping the PR-2 behavior for existing callers.
     """
 
     #: consecutive disk-write failures before the store stops trying —
@@ -97,12 +122,21 @@ class CompilationCache:
     WRITE_DEGRADE_AFTER = 3
 
     def __init__(self, directory: Optional[str] = None,
-                 max_memory_entries: int = 1024):
+                 max_memory_entries: int = 1024,
+                 ttl_seconds: Optional[float] = None,
+                 max_disk_bytes: Optional[int] = None):
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError("max_disk_bytes must be >= 0")
         self.directory = directory
         self.max_memory_entries = max_memory_entries
-        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self.ttl_seconds = ttl_seconds
+        self.max_disk_bytes = max_disk_bytes
+        #: memory layer holds (blob, last-touched wall-clock timestamp)
+        self._memory: "OrderedDict[str, Tuple[bytes, float]]" = OrderedDict()
         self._consecutive_write_errors = 0
         self._write_degraded = False
         self.stats = CacheStats()
@@ -137,15 +171,31 @@ class CompilationCache:
         used directly by the superoptimizer's rewrite memo (entries in
         the ``key_for_window`` namespace are :class:`RewriteMemoEntry`
         objects, not program/report pairs)."""
-        blob = self._memory.get(key)
-        if blob is not None:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            return pickle.loads(blob)
+        now = time.time()
+        cached = self._memory.get(key)
+        if cached is not None:
+            blob, touched = cached
+            if self.ttl_seconds is not None \
+                    and now - touched > self.ttl_seconds:
+                # idle too long: drop it and fall through to disk,
+                # which will agree (its mtime is at least as old)
+                del self._memory[key]
+                self.stats.expired += 1
+            else:
+                self._memory[key] = (blob, now)
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return pickle.loads(blob)
         if self.directory is not None:
             path = self._path(key)
             try:
+                if self.ttl_seconds is not None:
+                    age = now - os.stat(path).st_mtime
+                    if age > self.ttl_seconds:
+                        if self._tombstone(path):
+                            self.stats.expired += 1
+                        raise FileNotFoundError(path)
                 with open(path, "rb") as handle:
                     blob = handle.read()
                 entry = pickle.loads(blob)
@@ -159,6 +209,12 @@ class CompilationCache:
                 self.stats.read_errors += 1
             if entry is not None:
                 self._remember(key, blob)
+                # a disk hit is an access: refresh the entry's mtime so
+                # the LRU sweep and the idle TTL both see it as hot
+                try:
+                    os.utime(path, None)
+                except OSError:
+                    pass
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 return entry
@@ -205,9 +261,106 @@ class CompilationCache:
         never re-raises either way."""
         return self._write_degraded
 
+    # ------------------------------------------------------ ttl / sweep
+    def sweep(self, now: Optional[float] = None) -> dict:
+        """Enforce the retention policy over the disk tree.
+
+        Two passes in one walk: entries idle beyond ``ttl_seconds`` are
+        expired unconditionally, then — if ``max_disk_bytes`` is set and
+        the survivors still exceed it — the least-recently-touched
+        entries are evicted until the tree fits.  Safe to run from any
+        number of processes concurrently: the tombstone rename makes
+        each removal claimed by exactly one sweeper, and in-flight
+        readers keep their fd.  Returns the counts for this call.
+        """
+        removed = {"expired": 0, "evicted": 0, "scanned": 0,
+                   "bytes": 0, "bytes_freed": 0}
+        if self.directory is None:
+            return removed
+        now = time.time() if now is None else now
+        entries = []  # (mtime, size, path)
+        try:
+            shards = os.scandir(self.directory)
+        except OSError:
+            return removed
+        with shards:
+            for shard in shards:
+                if not shard.is_dir(follow_symlinks=False):
+                    continue
+                try:
+                    files = os.scandir(shard.path)
+                except OSError:
+                    continue
+                with files:
+                    for entry in files:
+                        name = entry.name
+                        try:
+                            stat = entry.stat(follow_symlinks=False)
+                        except OSError:
+                            continue  # raced with another sweeper
+                        if not name.endswith(".pkl") \
+                                or name.startswith("."):
+                            # temp file (``.tmp-*.pkl``) or tombstone
+                            # left by a crashed writer/sweeper: reap
+                            # it once clearly abandoned
+                            if now - stat.st_mtime > 300:
+                                try:
+                                    os.unlink(entry.path)
+                                except OSError:
+                                    pass
+                            continue
+                        entries.append((stat.st_mtime, stat.st_size,
+                                        entry.path))
+        removed["scanned"] = len(entries)
+        live_bytes = sum(size for _mtime, size, _path in entries)
+        survivors = []
+        for mtime, size, path in entries:
+            if self.ttl_seconds is not None \
+                    and now - mtime > self.ttl_seconds:
+                if self._tombstone(path):
+                    self.stats.expired += 1
+                    removed["expired"] += 1
+                    removed["bytes_freed"] += size
+                    live_bytes -= size
+                continue
+            survivors.append((mtime, size, path))
+        if self.max_disk_bytes is not None \
+                and live_bytes > self.max_disk_bytes:
+            survivors.sort()  # oldest mtime (= least recently touched) first
+            for mtime, size, path in survivors:
+                if live_bytes <= self.max_disk_bytes:
+                    break
+                if self._tombstone(path):
+                    self.stats.disk_evictions += 1
+                    removed["evicted"] += 1
+                    removed["bytes_freed"] += size
+                    live_bytes -= size
+        removed["bytes"] = live_bytes
+        return removed
+
+    def _tombstone(self, path: str) -> bool:
+        """Atomically claim and remove one disk entry.
+
+        The rename either succeeds (this process owns the removal) or
+        raises because another evictor got there first — so N racing
+        sweepers remove the entry exactly once between them, and a
+        reader can never observe a half-deleted file: the path either
+        resolves to the complete entry or not at all.
+        """
+        tomb = f"{path[:-4]}.tomb-{os.getpid()}-{id(self) & 0xffff}"
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            return False  # already claimed (or the tree vanished)
+        try:
+            os.unlink(tomb)
+        except OSError:
+            pass  # sweep() reaps stale tombstones later
+        return True
+
     # ---------------------------------------------------------- helpers
     def _remember(self, key: str, blob: bytes) -> None:
-        self._memory[key] = blob
+        self._memory[key] = (blob, time.time())
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)

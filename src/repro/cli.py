@@ -487,6 +487,9 @@ def cmd_serve(args) -> int:
     import json as _json
     import signal
 
+    if args.fleet:
+        return _cmd_serve_fleet(args)
+
     from .serve import DaemonThread, ServeConfig
 
     config = ServeConfig(
@@ -498,6 +501,9 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         kernel=args.kernel,
+        cache_ttl=args.cache_ttl,
+        cache_max_bytes=args.cache_max_bytes,
+        preempt_priority=args.preempt_priority,
     )
     daemon = DaemonThread(config).start()
     kind = daemon.address[0]
@@ -529,22 +535,103 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args) -> int:
+    import json as _json
+    import signal
+
+    from .serve.fleet import FleetConfig, FleetThread
+
+    config = FleetConfig(
+        shards=args.fleet,
+        socket_path=None if args.tcp is not None else args.socket,
+        host="127.0.0.1" if args.tcp is not None else None,
+        port=args.tcp or 0,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        kernel=args.kernel,
+        cache_ttl=args.cache_ttl,
+        cache_max_bytes=args.cache_max_bytes,
+        preempt_priority=args.preempt_priority,
+    )
+    fleet = FleetThread(config).start()
+    kind = fleet.address[0]
+    where = fleet.address[1] if kind == "unix" else \
+        f"{fleet.address[1]}:{fleet.address[2]}"
+    print(f"repro serve: fleet of {config.shards} shard(s) on "
+          f"{kind} {where} (jobs/shard={config.jobs}, "
+          f"cache={config.cache_dir})", file=sys.stderr)
+
+    done = []
+
+    def _stop(signum, frame):
+        if not done:
+            done.append(signum)
+            print("repro serve: draining fleet...", file=sys.stderr)
+            fleet.router.request_stop(drain=True)
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    fleet._thread.join()
+    if args.stats_out:
+        # stop() captures a full fleet view (router + shard stats +
+        # aggregate) while the shards can still answer; fall back to
+        # router-only counters if the capture itself failed
+        snapshot = fleet.router.final_snapshot or {
+            "router": fleet.router.stats.snapshot(
+                {link.index: link.forwarded
+                 for link in fleet.router._links}),
+            "config": config.describe()}
+        with open(args.stats_out, "w") as fh:
+            fh.write(_json.dumps(snapshot, indent=2) + "\n")
+    stats = fleet.router.stats
+    print(f"repro serve: fleet routed {stats.forwarded} requests "
+          f"({stats.shard_lost_errors} shard-lost, "
+          f"{stats.respawns} respawns)", file=sys.stderr)
+    return 0
+
+
+def _parse_priority_mix(spec):
+    """``"0:0.9,5:0.1"`` -> ``{0: 0.9, 5: 0.1}``."""
+    if not spec:
+        return None
+    mix = {}
+    for part in spec.split(","):
+        level, _, weight = part.partition(":")
+        mix[int(level)] = float(weight) if weight else 1.0
+    return mix
+
+
 def cmd_bench_serve(args) -> int:
-    from .eval.serviceperf import bench_service
+    from .eval.serviceperf import bench_service, bench_service_fleet
     from .serve.loadgen import FaultPlan
 
-    faults = None
-    if args.faults:
-        faults = FaultPlan(malformed=0.02, oversized=0.01,
-                           unknown_op=0.01, disconnect=0.02)
     progress = None if args.json else (
         lambda line: print(line, file=sys.stderr))
-    report = bench_service(
-        requests=args.requests, clients=args.clients, unique=args.unique,
-        seed=args.seed, zipf_s=args.zipf, depth=args.depth,
-        jobs=args.jobs, max_batch=args.max_batch,
-        max_delay=args.max_delay_ms / 1000.0, faults=faults,
-        progress=progress)
+    if args.fleet:
+        report = bench_service_fleet(
+            requests=args.requests, clients=args.clients,
+            unique=args.unique, seed=args.seed, zipf_s=args.zipf,
+            depth=args.depth, shards=args.fleet, jobs=args.jobs,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            cache_ttl=args.cache_ttl,
+            cache_max_bytes=args.cache_max_bytes,
+            priority_mix=_parse_priority_mix(args.priority_mix),
+            trace_path=args.trace, record_path=args.record,
+            speed=args.speed, progress=progress)
+    else:
+        faults = None
+        if args.faults:
+            faults = FaultPlan(malformed=0.02, oversized=0.01,
+                               unknown_op=0.01, disconnect=0.02)
+        report = bench_service(
+            requests=args.requests, clients=args.clients,
+            unique=args.unique, seed=args.seed, zipf_s=args.zipf,
+            depth=args.depth, jobs=args.jobs, max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0, faults=faults,
+            progress=progress)
     if args.out:
         report.write(args.out)
     if args.json:
@@ -558,9 +645,18 @@ def cmd_bench_serve(args) -> int:
                   f"p50 {lat['p50']:.1f}ms p99 {lat['p99']:.1f}ms, "
                   f"hit rate {phase.hit_rate * 100:.0f}%")
         print(f"warm/cold speedup: {report.speedup:.2f}x")
+        if args.fleet:
+            integrity = report.cache_integrity
+            print(f"fleet: {args.fleet} shard(s), "
+                  f"goodput spread "
+                  f"{report.fairness['goodput_spread']:.3f}, "
+                  f"cache entries {integrity['entries']} "
+                  f"({integrity['torn']} torn)")
         if args.out:
             print(f"wrote {args.out}")
     dropped = report.cold.dropped + report.warm.dropped
+    if args.fleet and report.cache_integrity.get("torn"):
+        return 1
     return 0 if dropped == 0 else 1
 
 
@@ -750,6 +846,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-delay-ms", type=float, default=10.0,
                    help="admission window linger in ms (default: 10)")
     s.add_argument("--kernel", default="6.5", choices=sorted(KERNELS))
+    s.add_argument("--fleet", type=int, default=0, metavar="N",
+                   help="run a consistent-hash router over N shard "
+                        "daemons instead of a single daemon")
+    s.add_argument("--cache-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="idle TTL for cache entries (default: keep)")
+    s.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="disk-store size budget (LRU-evicted by sweep)")
+    s.add_argument("--preempt-priority", type=int, default=1,
+                   help="priority that cuts the admission linger short "
+                        "(default: 1)")
     s.add_argument("--stats-out", metavar="FILE",
                    help="write the final stats snapshot as JSON")
     s.set_defaults(handler=cmd_serve)
@@ -773,7 +881,29 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--max-batch", type=int, default=16)
     bs.add_argument("--max-delay-ms", type=float, default=5.0)
     bs.add_argument("--faults", action="store_true",
-                    help="mix protocol-abuse faults into the stream")
+                    help="mix protocol-abuse faults into the stream "
+                         "(single-daemon mode only)")
+    bs.add_argument("--fleet", type=int, default=0, metavar="N",
+                    help="benchmark a router over N shard daemons "
+                         "instead of a single daemon")
+    bs.add_argument("--trace", metavar="FILE",
+                    help="with --fleet: replay this recorded trace "
+                         "instead of synthesizing load")
+    bs.add_argument("--record", metavar="FILE",
+                    help="with --fleet: record the cold phase's "
+                         "stream as a replayable trace")
+    bs.add_argument("--speed", type=float, default=0.0,
+                    help="with --trace: inter-arrival time scale "
+                         "(0 = flat out, 1 = recorded timing)")
+    bs.add_argument("--cache-ttl", type=float, default=None,
+                    metavar="SECONDS",
+                    help="with --fleet: idle TTL for cache entries")
+    bs.add_argument("--cache-max-bytes", type=int, default=None,
+                    metavar="BYTES",
+                    help="with --fleet: disk-store size budget")
+    bs.add_argument("--priority-mix", metavar="SPEC",
+                    help="with --fleet: priority distribution, e.g. "
+                         "'0:0.9,5:0.1'")
     bs.add_argument("--out", default="BENCH_service.json",
                     help="result file (default: BENCH_service.json; "
                          "'' skips)")

@@ -180,6 +180,8 @@ def _merge_worker_stats(cache: Optional["CompilationCache"],
         merged.disk_hits += entry["disk_hits"]
         merged.write_errors += entry.get("write_errors", 0)
         merged.read_errors += entry.get("read_errors", 0)
+        merged.expired += entry.get("expired", 0)
+        merged.disk_evictions += entry.get("disk_evictions", 0)
     if not seen:
         return None
     if cache is not None:
@@ -208,6 +210,8 @@ def _stats_delta(now: "CacheStats", before: "CacheStats") -> "CacheStats":
         disk_hits=now.disk_hits - before.disk_hits,
         write_errors=now.write_errors - before.write_errors,
         read_errors=now.read_errors - before.read_errors,
+        expired=now.expired - before.expired,
+        disk_evictions=now.disk_evictions - before.disk_evictions,
     )
 
 

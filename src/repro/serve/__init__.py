@@ -24,6 +24,14 @@ fault injection; ``repro bench-serve`` drives it to produce
 
 from .client import Address, ServeClient, ServeError
 from .daemon import DaemonThread, OptimizationDaemon, ServeConfig
+from .fairness import FairAdmissionQueue
+from .fleet import (
+    FleetConfig,
+    FleetThread,
+    HashRing,
+    ShardRouter,
+    aggregate_shard_stats,
+)
 from .loadgen import (
     FaultPlan,
     LoadResult,
@@ -33,6 +41,14 @@ from .loadgen import (
     zipf_stream,
 )
 from .metrics import LatencyReservoir, ServiceStats, percentile
+from .trace import (
+    TraceEvent,
+    TraceWriter,
+    load_trace,
+    replay_trace,
+    save_trace,
+    synthesize_trace,
+)
 from .protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -51,7 +67,11 @@ __all__ = [
     "Address",
     "DaemonThread",
     "ERROR_CODES",
+    "FairAdmissionQueue",
     "FaultPlan",
+    "FleetConfig",
+    "FleetThread",
+    "HashRing",
     "LatencyReservoir",
     "LoadResult",
     "MAX_LINE_BYTES",
@@ -65,13 +85,21 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServiceStats",
+    "ShardRouter",
+    "TraceEvent",
+    "TraceWriter",
+    "aggregate_shard_stats",
     "build_pool",
     "decode",
     "encode",
     "error_response",
+    "load_trace",
     "ok_response",
     "parse_request",
     "percentile",
+    "replay_trace",
     "run_load",
+    "save_trace",
+    "synthesize_trace",
     "zipf_stream",
 ]

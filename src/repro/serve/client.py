@@ -68,10 +68,15 @@ class ServeClient:
 
     def recv(self) -> dict:
         """Read one response line (responses arrive in request order)."""
+        return protocol.decode(self.recv_raw())
+
+    def recv_raw(self) -> bytes:
+        """Read one raw response line, newline included (the trace
+        determinism suite digests these bytes verbatim)."""
         line = self._rfile.readline()
         if not line:
             raise ConnectionError("daemon closed the connection")
-        return protocol.decode(line)
+        return line
 
     def request(self, payload: Dict[str, Any], check: bool = False) -> dict:
         self.send(payload)

@@ -52,6 +52,7 @@ from ..core.batch import CompileJob, compile_many
 from ..core.pipeline import ALL_OPTIMIZERS, MerlinPipeline
 from ..verifier import KERNELS
 from . import protocol
+from .fairness import FairAdmissionQueue
 from .metrics import ServiceStats
 from .protocol import ProtocolError, Request
 
@@ -77,6 +78,21 @@ class ServeConfig:
     #: already-readable sockets before refusing new work — shrinks the
     #: window in which a request racing the stop call is dropped
     drain_grace: float = 0.05
+    #: per-tenant admission weights (missing tenants weigh 1); the
+    #: fair queue serves a backlogged tenant at most ``weight``
+    #: consecutive slots per round
+    tenant_weights: Optional[Dict[str, int]] = None
+    #: requests at this priority or above cut the admission window's
+    #: linger timer short (the batch dispatches immediately)
+    preempt_priority: int = 1
+    #: idle TTL for cache entries (seconds; None = keep forever)
+    cache_ttl: Optional[float] = None
+    #: disk-store size budget enforced by the periodic sweep
+    cache_max_bytes: Optional[int] = None
+    #: how often the eviction sweep runs when either bound is set
+    sweep_interval: float = 5.0
+    #: fleet shard index (set by the router; labels stats snapshots)
+    shard_id: Optional[int] = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -87,6 +103,10 @@ class ServeConfig:
             raise ValueError("max_delay must be >= 0")
         if self.kernel not in KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}")
+        if not 0 <= self.preempt_priority <= protocol.MAX_PRIORITY + 1:
+            raise ValueError("preempt_priority out of range")
+        if self.sweep_interval <= 0:
+            raise ValueError("sweep_interval must be positive")
         if self.socket_path is None and self.host is None:
             self.socket_path = os.path.join(
                 tempfile.mkdtemp(prefix="repro-serve-"), "serve.sock")
@@ -99,6 +119,10 @@ class ServeConfig:
             "max_delay_ms": round(self.max_delay * 1000, 3),
             "kernel": self.kernel,
             "cache_dir": self.cache_dir,
+            "preempt_priority": self.preempt_priority,
+            "cache_ttl_seconds": self.cache_ttl,
+            "cache_max_bytes": self.cache_max_bytes,
+            "shard_id": self.shard_id,
         }
 
 
@@ -168,17 +192,21 @@ class OptimizationDaemon:
             self.config.cache_dir = cache_dir
         self.cache = CompilationCache(
             directory=cache_dir,
-            max_memory_entries=self.config.max_memory_entries)
+            max_memory_entries=self.config.max_memory_entries,
+            ttl_seconds=self.config.cache_ttl,
+            max_disk_bytes=self.config.cache_max_bytes)
         self._pipelines: Dict[tuple, MerlinPipeline] = {}
         # source-text -> cache-key memo: repeat requests skip the
         # frontend entirely and answer straight from the warm cache
         self._source_keys: "OrderedDict[tuple, str]" = OrderedDict()
-        self._queue: "asyncio.Queue" = asyncio.Queue(
-            maxsize=self.config.queue_limit)
+        self._queue = FairAdmissionQueue(
+            maxsize=self.config.queue_limit,
+            weights=self.config.tenant_weights)
         self._connections: set = set()
         self._handler_tasks: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher_task: Optional[asyncio.Task] = None
+        self._sweep_task: Optional[asyncio.Task] = None
         self._dispatch_thread = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-dispatch")
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -222,6 +250,26 @@ class OptimizationDaemon:
             sock = self._server.sockets[0]
             self.address = ("tcp",) + sock.getsockname()[:2]
         self._batcher_task = asyncio.ensure_future(self._batch_loop())
+        if self.config.cache_ttl is not None \
+                or self.config.cache_max_bytes is not None:
+            self._sweep_task = asyncio.ensure_future(self._sweep_loop())
+
+    async def _sweep_loop(self) -> None:
+        """Periodic TTL/size-budget eviction over the shared store.
+
+        The walk runs off-loop (default thread executor) so a large
+        tree never stalls request handling; the sweep itself is safe
+        against concurrent sweepers in other shard daemons — the
+        tombstone rename arbitrates every removal.
+        """
+        while not self._stopping:
+            await asyncio.sleep(self.config.sweep_interval)
+            if self._stopping:
+                break
+            try:
+                await self._loop.run_in_executor(None, self.cache.sweep)
+            except Exception:  # pragma: no cover - sweep is best-effort
+                pass
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -305,26 +353,40 @@ class OptimizationDaemon:
         future = self._loop.create_future()
         pending = _Pending(request, future)
         try:
-            self._queue.put_nowait(pending)
+            self._queue.put_nowait(pending, priority=request.priority,
+                                   tenant=request.tenant)
         except asyncio.QueueFull:
             self.stats.rejected += 1
             conn.enqueue(self._resolved(protocol.error_response(
                 request.id, "shutting-down", "admission queue full")))
             return
+        depth = self._queue.qsize()
+        if depth > self.stats.peak_queue_depth:
+            self.stats.peak_queue_depth = depth
         conn.enqueue(future)
 
     # ---------------------------------------------------------- batching
+    def _preempts(self, pending: _Pending) -> bool:
+        return pending.request.priority >= self.config.preempt_priority
+
     async def _batch_loop(self) -> None:
         """Admission batching: linger up to ``max_delay`` for up to
-        ``max_batch`` requests, then dispatch them as one batch."""
+        ``max_batch`` requests, then dispatch them as one batch.
+
+        The fair queue hands requests over highest-priority-first and
+        weighted round-robin across tenants; a request at or above
+        ``preempt_priority`` additionally cancels the remaining linger
+        so urgent work never waits out the window behind bulk traffic.
+        """
         stop_seen = False
         while not stop_seen:
             item = await self._queue.get()
             if item is _STOP:
                 break
             batch = [item]
+            preempted = self._preempts(item)
             deadline = self._loop.time() + self.config.max_delay
-            while len(batch) < self.config.max_batch:
+            while len(batch) < self.config.max_batch and not preempted:
                 remaining = deadline - self._loop.time()
                 if remaining <= 0:
                     break
@@ -337,6 +399,9 @@ class OptimizationDaemon:
                     stop_seen = True
                     break
                 batch.append(nxt)
+                preempted = self._preempts(nxt)
+            if preempted:
+                self.stats.preempted_batches += 1
             await self._dispatch(batch)
         # drain anything admitted after the sentinel was queued
         leftovers: List[_Pending] = []
@@ -377,6 +442,8 @@ class OptimizationDaemon:
         report.cached = True
         self.stats.fast_path_hits += 1
         self.stats.compiles_completed += 1
+        self.stats.observe_served(pending.request.tenant,
+                                  pending.request.priority)
         self._finish(pending, protocol.ok_response(
             pending.request.id,
             self._payload(pending.request, program, report)))
@@ -452,6 +519,8 @@ class OptimizationDaemon:
                         error or "no result for request"))
                 else:
                     self.stats.compiles_completed += 1
+                    self.stats.observe_served(pending.request.tenant,
+                                              pending.request.priority)
                     self._memoize(pending.request, rep)
                     self._finish(pending, protocol.ok_response(
                         pending.request.id,
@@ -549,8 +618,12 @@ class OptimizationDaemon:
             await asyncio.sleep(self.config.drain_grace)
         self._stopping = True
         if self._server is not None:
+            # close() alone stops the accept loop.  wait_closed() must
+            # come *after* connection teardown: from Python 3.12 it
+            # also waits for every accepted transport to detach, so
+            # awaiting it here deadlocks against a client that holds
+            # its connection open across the drain.
             self._server.close()
-            await self._server.wait_closed()
         if not drain:
             while not self._queue.empty():
                 item = self._queue.get_nowait()
@@ -559,9 +632,13 @@ class OptimizationDaemon:
                     self._finish(item, protocol.error_response(
                         item.request.id, "shutting-down",
                         "daemon stopped without draining"))
-        self._queue.put_nowait(_STOP)
+        self._queue.put_control(_STOP)
         if self._batcher_task is not None:
             await self._batcher_task
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweep_task
         # every admitted future is resolved; let the writers flush
         for conn in list(self._connections):
             await conn.quiesce()
@@ -572,6 +649,9 @@ class OptimizationDaemon:
         for task in list(self._handler_tasks):
             with contextlib.suppress(Exception):
                 await asyncio.wait_for(task, timeout=5.0)
+        if self._server is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), 5.0)
         self._dispatch_thread.shutdown(wait=True)
         if self._pool is not None:
             self._pool.shutdown(wait=True)

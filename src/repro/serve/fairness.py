@@ -1,0 +1,183 @@
+"""Priority + weighted-fair admission queueing for the serve daemon.
+
+The single-daemon tier (PR 5) admitted requests through a plain FIFO
+``asyncio.Queue``; under Zipf-skewed multi-tenant load that lets one
+chatty tenant monopolize every admission window while a light tenant's
+single request waits behind hundreds of queued repeats.  The fleet
+tier replaces the FIFO with :class:`FairAdmissionQueue`:
+
+* **Strict priority classes.**  Higher ``priority`` drains first; the
+  daemon additionally uses a high-priority arrival to preempt the
+  admission window's linger timer (see ``ServeConfig.preempt_priority``).
+* **Weighted round-robin across tenants** inside each class: the
+  tenant at the head of the ring is served up to ``weight(tenant)``
+  consecutive requests, then the ring rotates.  A tenant with a
+  backlog therefore gets at most ``weight / sum(weights of backlogged
+  tenants)`` of the admission slots per round — and every backlogged
+  tenant is served at least once per round, so nobody starves no
+  matter how skewed the arrival mix is.
+
+The queue is single-event-loop only (like everything else in the
+daemon) and mirrors the small slice of the ``asyncio.Queue`` surface
+the batcher uses: ``put_nowait`` / ``get`` / ``get_nowait`` /
+``qsize`` / ``empty``, raising ``asyncio.QueueFull`` on overflow so
+the daemon's backpressure path is unchanged.  Control items (the stop
+sentinel) bypass fairness through :meth:`put_control`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: priorities are small ints; the protocol clamps to this range
+MIN_PRIORITY = 0
+MAX_PRIORITY = 9
+
+_MISSING = object()
+
+
+class _PriorityClass:
+    """One priority level: per-tenant FIFOs served weighted-RR."""
+
+    __slots__ = ("queues", "ring", "turn")
+
+    def __init__(self):
+        self.queues: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self.ring: Deque[str] = deque()   # tenants with a backlog
+        self.turn = 0                     # services left for ring head
+
+    def push(self, tenant: str, item: Any) -> None:
+        queue = self.queues.get(tenant)
+        if queue is None:
+            queue = self.queues[tenant] = deque()
+        if not queue:
+            self.ring.append(tenant)
+        queue.append(item)
+
+    def pop(self, weight_of) -> Any:
+        tenant = self.ring[0]
+        if self.turn <= 0:
+            self.turn = max(1, weight_of(tenant))
+        queue = self.queues[tenant]
+        item = queue.popleft()
+        self.turn -= 1
+        if not queue:
+            del self.queues[tenant]
+            self.ring.popleft()
+            self.turn = 0
+        elif self.turn <= 0:
+            self.ring.rotate(-1)  # head's turn is over: to the back
+        return item
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    @property
+    def empty(self) -> bool:
+        return not self.ring
+
+
+class FairAdmissionQueue:
+    """See the module docstring.  Items are opaque to the queue; the
+    caller supplies ``(priority, tenant)`` at ``put`` time."""
+
+    def __init__(self, maxsize: int = 0,
+                 weights: Optional[Dict[str, int]] = None,
+                 default_weight: int = 1):
+        if default_weight < 1:
+            raise ValueError("default_weight must be >= 1")
+        self.maxsize = maxsize
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._classes: Dict[int, _PriorityClass] = {}
+        self._order: List[int] = []       # priorities, descending
+        self._control: Deque[Any] = deque()
+        self._size = 0
+        self._waiters: Deque["asyncio.Future"] = deque()
+
+    # ------------------------------------------------------------- puts
+    def put_nowait(self, item: Any, priority: int = 0,
+                   tenant: str = "") -> None:
+        if self.maxsize and self._size >= self.maxsize:
+            raise asyncio.QueueFull
+        cls = self._classes.get(priority)
+        if cls is None:
+            cls = self._classes[priority] = _PriorityClass()
+            self._order = sorted(self._classes, reverse=True)
+        cls.push(tenant, item)
+        self._size += 1
+        self._wake_next()
+
+    def put_control(self, item: Any) -> None:
+        """Enqueue a control sentinel (served before any request, never
+        counted against ``maxsize``)."""
+        self._control.append(item)
+        self._wake_next()
+
+    # ------------------------------------------------------------- gets
+    def _pop(self) -> Any:
+        if self._control:
+            return self._control.popleft()
+        for priority in self._order:
+            cls = self._classes[priority]
+            if not cls.empty:
+                self._size -= 1
+                return cls.pop(self.weight_of)
+        return _MISSING
+
+    def get_nowait(self) -> Any:
+        item = self._pop()
+        if item is _MISSING:
+            raise asyncio.QueueEmpty
+        return item
+
+    async def get(self) -> Any:
+        while True:
+            item = self._pop()
+            if item is not _MISSING:
+                return item
+            future = asyncio.get_running_loop().create_future()
+            self._waiters.append(future)
+            try:
+                await future
+            except asyncio.CancelledError:
+                if future.done() and not future.cancelled():
+                    # we consumed a wakeup but will not take the item:
+                    # pass the baton or the item strands in the queue
+                    self._wake_next()
+                else:
+                    try:
+                        self._waiters.remove(future)
+                    except ValueError:
+                        pass
+                raise
+
+    def _wake_next(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(True)
+                return
+
+    # ------------------------------------------------------ introspection
+    def weight_of(self, tenant: str) -> int:
+        return self._weights.get(tenant, self.default_weight)
+
+    def qsize(self) -> int:
+        return self._size + len(self._control)
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+    def backlog(self) -> Dict[int, Dict[str, int]]:
+        """Queued requests by priority and tenant (for ``stats``)."""
+        out: Dict[int, Dict[str, int]] = {}
+        for priority in self._order:
+            cls = self._classes[priority]
+            if cls.empty:
+                continue
+            out[priority] = {tenant: len(queue)
+                             for tenant, queue in cls.queues.items()}
+        return out

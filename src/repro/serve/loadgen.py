@@ -43,12 +43,17 @@ class PoolProgram:
     prog_type: str = "tracepoint"
     mcpu: str = "v2"
 
-    def payload(self, validate=False) -> dict:
+    def payload(self, validate=False, tenant: str = "",
+                priority: int = 0) -> dict:
         out = {"op": "compile", "name": self.name, "source": self.source,
                "entry": self.entry, "prog_type": self.prog_type,
                "mcpu": self.mcpu, "ctx_size": self.ctx_size}
         if validate:
             out["validate"] = validate
+        if tenant:
+            out["tenant"] = tenant
+        if priority:
+            out["priority"] = priority
         return out
 
 
@@ -79,6 +84,10 @@ class ClientResult:
     faults: Dict[str, int] = field(default_factory=dict)
     disconnects: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: successful compiles per tenant label (fairness accounting)
+    tenant_ok: Dict[str, int] = field(default_factory=dict)
+    #: requests sent per tenant label (the offered load)
+    tenant_sent: Dict[str, int] = field(default_factory=dict)
     failure: Optional[str] = None
 
     def count_error(self, code: str) -> None:
@@ -86,6 +95,15 @@ class ClientResult:
 
     def count_fault(self, kind: str) -> None:
         self.faults[kind] = self.faults.get(kind, 0) + 1
+
+    def count_tenant(self, tenant: str) -> None:
+        if tenant:
+            self.tenant_ok[tenant] = self.tenant_ok.get(tenant, 0) + 1
+
+    def count_tenant_sent(self, tenant: str) -> None:
+        if tenant:
+            self.tenant_sent[tenant] = \
+                self.tenant_sent.get(tenant, 0) + 1
 
 
 @dataclass
@@ -150,6 +168,37 @@ class LoadResult:
             return 0.0
         return self.received / self.wall_seconds
 
+    @property
+    def tenant_goodput(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for tenant, n in c.tenant_ok.items():
+                merged[tenant] = merged.get(tenant, 0) + n
+        return merged
+
+    @property
+    def tenant_offered(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for tenant, n in c.tenant_sent.items():
+                merged[tenant] = merged.get(tenant, 0) + n
+        return merged
+
+    def goodput_spread(self) -> float:
+        """max/min of per-tenant *completion ratio* (goodput divided
+        by offered load) — the fairness headline.  Offered arrival
+        mixes are Zipf-skewed by design, so raw goodput counts differ
+        wildly; what fairness guarantees is that every tenant's
+        admitted share completes, i.e. this ratio spread stays ~1.0.
+        Returns 0.0 when fewer than two tenants were offered load."""
+        goodput = self.tenant_goodput
+        ratios = [goodput.get(tenant, 0) / offered
+                  for tenant, offered in self.tenant_offered.items()
+                  if offered > 0]
+        if len(ratios) < 2 or min(ratios) == 0:
+            return 0.0
+        return max(ratios) / min(ratios)
+
     def to_dict(self) -> dict:
         from .metrics import percentile
 
@@ -168,6 +217,13 @@ class LoadResult:
                 "p50": round(percentile(lat, 50) * 1000, 3),
                 "p90": round(percentile(lat, 90) * 1000, 3),
                 "p99": round(percentile(lat, 99) * 1000, 3),
+                "p999": round(percentile(lat, 99.9) * 1000, 3),
+            },
+            "tenants": {
+                "count": len(self.tenant_goodput),
+                "goodput": dict(sorted(self.tenant_goodput.items(),
+                                       key=lambda kv: -kv[1])[:32]),
+                "goodput_spread": round(self.goodput_spread(), 3),
             },
         }
 
@@ -234,27 +290,44 @@ _MALFORMED_LINES = (
 )
 
 
+def _draw_priority(rng: random.Random,
+                   priority_mix: Optional[Dict[int, float]]) -> int:
+    if not priority_mix:
+        return 0
+    levels = sorted(priority_mix)
+    weights = [priority_mix[level] for level in levels]
+    return rng.choices(levels, weights=weights, k=1)[0]
+
+
 def _run_client(address: Address, pool: Sequence[PoolProgram],
                 indices: Sequence[int], faults: FaultPlan,
                 rng: random.Random, result: ClientResult,
-                depth: int = 1, validate=False) -> None:
+                depth: int = 1, validate=False,
+                tenants: bool = False,
+                priority_mix: Optional[Dict[int, float]] = None,
+                recorder=None, client_id: int = 0) -> None:
     """One synchronous worker: stream requests, tally responses.
 
     ``depth`` > 1 pipelines that many requests before reading the
     responses back (the daemon's arrival-order guarantee makes the
-    accounting trivial).
+    accounting trivial).  ``tenants`` labels each request with its
+    pool program's name; ``priority_mix`` draws a priority per request
+    (priority -> probability); ``recorder`` (a
+    :class:`repro.serve.trace.TraceWriter`) captures every well-formed
+    request this worker sends, so any loadgen run can be replayed.
     """
     client = ServeClient(address)
-    window: List[float] = []  # send timestamps of in-flight requests
+    window: List[tuple] = []  # (send time, tenant) of in-flight requests
 
     def drain() -> None:
         while window:
-            started = window.pop(0)
+            started, tenant = window.pop(0)
             response = client.recv()
             result.received += 1
             result.latencies.append(time.monotonic() - started)
             if response.get("ok"):
                 result.ok += 1
+                result.count_tenant(tenant)
                 if response["result"].get("cached"):
                     result.cached += 1
             else:
@@ -275,22 +348,30 @@ def _run_client(address: Address, pool: Sequence[PoolProgram],
                 if rng.random() < faults.malformed:
                     result.count_fault("malformed")
                     client.send_raw(rng.choice(_MALFORMED_LINES))
-                    window.append(time.monotonic())
+                    window.append((time.monotonic(), ""))
                     result.sent += 1
                 if rng.random() < faults.oversized:
                     result.count_fault("oversized")
                     big = ("u64 f(u8* ctx) { return 1; } //"
                            + "x" * protocol.MAX_SOURCE_BYTES)
                     client.send({"op": "compile", "source": big})
-                    window.append(time.monotonic())
+                    window.append((time.monotonic(), ""))
                     result.sent += 1
                 if rng.random() < faults.unknown_op:
                     result.count_fault("unknown_op")
                     client.send({"op": "transmogrify"})
-                    window.append(time.monotonic())
+                    window.append((time.monotonic(), ""))
                     result.sent += 1
-            client.send(pool[index].payload(validate=validate))
-            window.append(time.monotonic())
+            program = pool[index]
+            tenant = program.name if tenants else ""
+            payload = program.payload(
+                validate=validate, tenant=tenant,
+                priority=_draw_priority(rng, priority_mix))
+            result.count_tenant_sent(tenant)
+            if recorder is not None:
+                recorder.record(client_id, payload)
+            client.send(payload)
+            window.append((time.monotonic(), tenant))
             result.sent += 1
             if len(window) >= depth:
                 drain()
@@ -309,9 +390,16 @@ def run_load(address: Address, pool: Sequence[PoolProgram],
              requests: int = 200, clients: int = 4, seed: int = 0,
              zipf_s: float = 1.1, depth: int = 4,
              faults: Optional[FaultPlan] = None,
-             validate=False) -> LoadResult:
+             validate=False, tenants: bool = False,
+             priority_mix: Optional[Dict[int, float]] = None,
+             recorder=None) -> LoadResult:
     """Drive *clients* concurrent workers, *requests* each, against a
-    running daemon.  Deterministic under (*seed*, *pool*)."""
+    running daemon.  Deterministic under (*seed*, *pool*).
+
+    ``tenants=True`` labels traffic by pool-program name (the
+    fairness path); ``priority_mix`` draws per-request priorities;
+    ``recorder`` captures the run as a replayable trace.
+    """
     faults = faults or FaultPlan()
     results = [ClientResult() for _ in range(clients)]
     threads = []
@@ -322,7 +410,9 @@ def run_load(address: Address, pool: Sequence[PoolProgram],
         thread = threading.Thread(
             target=_run_client,
             args=(address, pool, indices, faults, rng, results[worker]),
-            kwargs=dict(depth=depth, validate=validate),
+            kwargs=dict(depth=depth, validate=validate, tenants=tenants,
+                        priority_mix=priority_mix, recorder=recorder,
+                        client_id=worker),
             name=f"loadgen-{worker}", daemon=True)
         threads.append(thread)
         thread.start()

@@ -50,6 +50,7 @@ class LatencyReservoir:
             "p50_ms": round(percentile(values, 50) * ms, 3),
             "p90_ms": round(percentile(values, 90) * ms, 3),
             "p99_ms": round(percentile(values, 99) * ms, 3),
+            "p999_ms": round(percentile(values, 99.9) * ms, 3),
             "max_ms": round(self.max_seconds * ms, 3),
             "mean_ms": round(self.total_seconds / self.count * ms, 3)
             if self.count else 0.0,
@@ -74,16 +75,34 @@ class ServiceStats:
     batches_dispatched: int = 0
     batched_requests: int = 0
     max_batch_size: int = 0
+    preempted_batches: int = 0  # linger cut short by a priority arrival
+    peak_queue_depth: int = 0   # high-water mark of the admission queue
     busy_seconds: float = 0.0  # wall time spent inside compile_many
     latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     queue_latency: LatencyReservoir = field(
         default_factory=lambda: LatencyReservoir(window=4096))
+    #: completed compiles per tenant (bounded: overflow folds into
+    #: ``__other__`` so a tenant-per-request abuser can't grow us)
+    tenant_served: Dict[str, int] = field(default_factory=dict)
+    #: completed compiles per priority class
+    priority_served: Dict[int, int] = field(default_factory=dict)
+
+    TENANT_CARDINALITY_LIMIT = 512
 
     def observe_batch(self, size: int, wall_seconds: float) -> None:
         self.batches_dispatched += 1
         self.batched_requests += size
         self.max_batch_size = max(self.max_batch_size, size)
         self.busy_seconds += wall_seconds
+
+    def observe_served(self, tenant: str, priority: int) -> None:
+        key = tenant or "__default__"
+        if key not in self.tenant_served and \
+                len(self.tenant_served) >= self.TENANT_CARDINALITY_LIMIT:
+            key = "__other__"
+        self.tenant_served[key] = self.tenant_served.get(key, 0) + 1
+        self.priority_served[priority] = \
+            self.priority_served.get(priority, 0) + 1
 
     @property
     def uptime_seconds(self) -> float:
@@ -111,12 +130,23 @@ class ServiceStats:
                 "opened": self.connections_opened,
                 "closed": self.connections_closed,
             },
-            "queue": {"depth": queue_depth},
+            "queue": {"depth": queue_depth,
+                      "peak_depth": self.peak_queue_depth},
             "batches": {
                 "dispatched": self.batches_dispatched,
                 "requests": self.batched_requests,
                 "max_size": self.max_batch_size,
                 "mean_size": round(mean_batch, 2),
+                "preempted": self.preempted_batches,
+            },
+            "fairness": {
+                "tenants_seen": len(self.tenant_served),
+                "served_by_tenant": dict(sorted(
+                    self.tenant_served.items(),
+                    key=lambda kv: -kv[1])[:32]),
+                "served_by_priority": {
+                    str(k): v
+                    for k, v in sorted(self.priority_served.items())},
             },
             "throughput": {
                 "programs_per_second": round(

@@ -32,8 +32,18 @@ covered by tests: ``bad-json`` (unparseable line; ``id`` is null),
 ``bad-request`` (missing/ill-typed fields), ``unknown-op``,
 ``oversized`` (source beyond :data:`MAX_SOURCE_BYTES`),
 ``compile-error`` (the toolchain rejected the program),
-``shutting-down`` (daemon draining, request not admitted), and
+``shutting-down`` (daemon draining, request not admitted),
+``shard-lost`` (a fleet router's shard daemon died with this request
+in flight — retry-safe by construction, nothing was committed), and
 ``internal``.
+
+Protocol v2 adds two optional request fields the fleet tier consumes:
+``tenant`` (a client-chosen stream label; the admission queue gives
+every backlogged tenant a weighted fair share of each batch window)
+and ``priority`` (0..9, default 0; higher classes drain first and a
+high-priority arrival preempts the admission window's linger timer).
+Both are ignored by the cache key — identical programs share one
+entry no matter who asks.
 """
 
 from __future__ import annotations
@@ -51,12 +61,17 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: largest accepted ``source`` payload (per-request ``oversized`` error)
 MAX_SOURCE_BYTES = 1024 * 1024
 #: protocol revision, reported by ``ping`` and ``stats``
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+#: longest accepted ``tenant`` label
+MAX_TENANT_CHARS = 128
+#: highest accepted ``priority``
+MAX_PRIORITY = 9
 
 OPS = ("compile", "validate", "stats", "ping", "shutdown")
 
 ERROR_CODES = ("bad-json", "bad-request", "unknown-op", "oversized",
-               "compile-error", "shutting-down", "internal")
+               "compile-error", "shutting-down", "shard-lost",
+               "internal")
 
 _PROG_TYPES = {t.value for t in ProgramType}
 
@@ -95,6 +110,11 @@ class Request:
     #: superoptimizer spec (repro.core.superopt.SuperoptSpec), or None;
     #: frozen, so the request stays hashable
     superopt: Optional[Any] = None
+    #: fairness stream label (fleet tier); "" groups with the default
+    tenant: str = ""
+    #: admission priority 0..9; >= the daemon's ``preempt_priority``
+    #: also cuts the batch linger timer short
+    priority: int = 0
 
     @property
     def config_key(self) -> tuple:
@@ -210,11 +230,21 @@ def parse_request(line: Union[bytes, str]) -> Request:
                             request_id)
     pgo = _parse_pgo(obj.get("pgo", False), request_id)
     superopt = _parse_superopt(obj.get("superopt", False), request_id)
+    tenant = _field(obj, request_id, "tenant", str, "")
+    if len(tenant) > MAX_TENANT_CHARS:
+        raise ProtocolError(
+            "bad-request",
+            f"tenant exceeds {MAX_TENANT_CHARS} characters", request_id)
+    priority = _field(obj, request_id, "priority", int, 0)
+    if not 0 <= priority <= MAX_PRIORITY:
+        raise ProtocolError(
+            "bad-request", f"priority must be 0..{MAX_PRIORITY}",
+            request_id)
     return Request(id=request_id, op=op, name=name, source=source,
                    entry=entry, prog_type=ProgramType(prog_type),
                    mcpu=mcpu, ctx_size=ctx_size, kernel=kernel,
                    passes=passes, validate=validate, asm=asm, pgo=pgo,
-                   superopt=superopt)
+                   superopt=superopt, tenant=tenant, priority=priority)
 
 
 def _parse_pgo(value: Any, request_id: Any):

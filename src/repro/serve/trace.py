@@ -1,0 +1,403 @@
+"""Trace record / replay for the serve tier.
+
+A *trace* is a JSONL file, one request event per line::
+
+    {"v": 1, "t": 0.0123, "client": 0, "payload": {"op": "compile", ...}}
+
+``t`` is seconds since the start of the trace, ``client`` groups the
+events that travelled over one connection (ordering is only guaranteed
+per connection — the protocol's arrival-order contract), and
+``payload`` is the request object minus its ``id`` (replay assigns
+sequential ids per client so two replays of one trace send
+byte-identical request lines).
+
+Three ways to get a trace:
+
+* :class:`TraceWriter` — record a live stream; the load generator
+  calls it for every synthetic request it sends, so any loadgen run
+  can be captured (``repro bench-serve --record``).
+* :func:`synthesize_trace` — generate one directly (Zipf-skewed pool
+  picks, exponential inter-arrival gaps), deterministic under a seed.
+* Write the JSONL by hand; :func:`load_trace` validates the shape.
+
+Replay (:func:`replay_trace`) is the interesting half.  ``speed=1``
+reproduces the recorded inter-arrival timing, ``speed=2`` halves every
+gap, ``speed=0`` ignores timing entirely and pipelines flat out.
+Because ids are deterministic, per-connection ordering is guaranteed,
+and a warm daemon answers from the content-addressed cache (stored
+reports carry their own ``compile_ms``), replaying a trace twice
+against a warm fleet yields **byte-identical** response streams —
+:class:`ReplayResult` keeps a sha256 over each client's raw response
+bytes so the determinism suite can assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
+
+from .client import Address, ServeClient
+from .metrics import percentile
+
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded request."""
+
+    t: float            # seconds since trace start
+    client: int         # connection the request travelled on
+    payload: dict       # the request object, sans ``id``
+
+    def to_line(self) -> str:
+        return json.dumps({"v": TRACE_VERSION, "t": round(self.t, 6),
+                           "client": self.client,
+                           "payload": self.payload},
+                          separators=(",", ":"))
+
+
+class TraceWriter:
+    """Append-only JSONL recorder, safe to share across client threads."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file: Optional[TextIO] = open(path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._start = time.monotonic()
+        self.events = 0
+
+    def record(self, client: int, payload: dict,
+               t: Optional[float] = None) -> None:
+        if t is None:
+            t = time.monotonic() - self._start
+        payload = {k: v for k, v in payload.items() if k != "id"}
+        line = TraceEvent(t=t, client=client, payload=payload).to_line()
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+            self.events += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def save_trace(path: str, events: Sequence[TraceEvent]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event.to_line() + "\n")
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Read and validate a trace file; events come back sorted by
+    ``(client, t)`` within each client's original order."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(obj, dict) \
+                    or not isinstance(obj.get("payload"), dict):
+                raise ValueError(
+                    f"{path}:{lineno}: each event needs a payload object")
+            t = obj.get("t", 0.0)
+            client = obj.get("client", 0)
+            if not isinstance(t, (int, float)) or t < 0:
+                raise ValueError(f"{path}:{lineno}: bad timestamp {t!r}")
+            if not isinstance(client, int) or client < 0:
+                raise ValueError(f"{path}:{lineno}: bad client {client!r}")
+            events.append(TraceEvent(t=float(t), client=client,
+                                     payload=obj["payload"]))
+    if not events:
+        raise ValueError(f"{path}: empty trace")
+    return events
+
+
+def synthesize_trace(pool, requests: int, clients: int = 4,
+                     seed: int = 0, zipf_s: float = 1.1,
+                     mean_gap: float = 0.001,
+                     priority_mix: Optional[Dict[int, float]] = None,
+                     tenants: bool = True) -> List[TraceEvent]:
+    """A deterministic synthetic trace: *requests* events per client,
+    Zipf-skewed over *pool*, exponential inter-arrival gaps with mean
+    *mean_gap* seconds.  ``priority_mix`` maps priority -> probability
+    (e.g. ``{0: 0.9, 5: 0.1}``); tenants default to the pool program's
+    name, the same convention the live load generator uses."""
+    from .loadgen import zipf_stream
+
+    priorities = sorted((priority_mix or {0: 1.0}).items())
+    levels = [p for p, _ in priorities]
+    weights = [w for _, w in priorities]
+    events: List[TraceEvent] = []
+    for client in range(clients):
+        rng = random.Random(seed * 7_919 + client)
+        indices = zipf_stream(rng, len(pool), requests, s=zipf_s)
+        t = 0.0
+        for index in indices:
+            t += rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else 0.0
+            program = pool[index]
+            payload = program.payload()
+            if tenants:
+                payload["tenant"] = program.name
+            priority = rng.choices(levels, weights=weights, k=1)[0]
+            if priority:
+                payload["priority"] = priority
+            events.append(TraceEvent(t=t, client=client,
+                                     payload=payload))
+    return events
+
+
+# ---------------------------------------------------------------- replay
+@dataclass
+class ReplayClientResult:
+    """One replayed connection's tally."""
+
+    client: int = 0
+    sent: int = 0
+    received: int = 0
+    ok: int = 0
+    cached: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    #: sha256 over the connection's concatenated raw response bytes —
+    #: two replays of one trace against a warm fleet must match
+    digest: str = ""
+    #: (tenant, ok) per response, in arrival order — the per-tenant
+    #: ordering witness for the determinism suite
+    tenant_order: List[tuple] = field(default_factory=list)
+    #: requests sent per tenant label (the offered load)
+    tenant_sent: Dict[str, int] = field(default_factory=dict)
+    failure: Optional[str] = None
+
+
+@dataclass
+class ReplayResult:
+    """The merged outcome of one trace replay."""
+
+    clients: List[ReplayClientResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    speed: float = 1.0
+
+    @property
+    def sent(self) -> int:
+        return sum(c.sent for c in self.clients)
+
+    @property
+    def received(self) -> int:
+        return sum(c.received for c in self.clients)
+
+    @property
+    def ok(self) -> int:
+        return sum(c.ok for c in self.clients)
+
+    @property
+    def cached(self) -> int:
+        return sum(c.cached for c in self.clients)
+
+    @property
+    def dropped(self) -> int:
+        return self.sent - self.received
+
+    @property
+    def errors(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for code, n in c.errors.items():
+                merged[code] = merged.get(code, 0) + n
+        return merged
+
+    @property
+    def failures(self) -> List[str]:
+        return [c.failure for c in self.clients if c.failure]
+
+    @property
+    def digests(self) -> Dict[int, str]:
+        return {c.client: c.digest for c in self.clients}
+
+    @property
+    def tenant_orders(self) -> Dict[int, List[tuple]]:
+        return {c.client: c.tenant_order for c in self.clients}
+
+    def tenant_goodput(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for tenant, okay in c.tenant_order:
+                if okay:
+                    merged[tenant] = merged.get(tenant, 0) + 1
+        return merged
+
+    def tenant_offered(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for c in self.clients:
+            for tenant, n in c.tenant_sent.items():
+                merged[tenant] = merged.get(tenant, 0) + n
+        return merged
+
+    def goodput_spread(self) -> float:
+        """max/min of per-tenant completion ratio; ~1.0 means every
+        tenant's offered stream completed (see
+        :meth:`repro.serve.loadgen.LoadResult.goodput_spread`)."""
+        goodput = self.tenant_goodput()
+        ratios = [goodput.get(tenant, 0) / offered
+                  for tenant, offered in self.tenant_offered().items()
+                  if offered > 0]
+        if len(ratios) < 2 or min(ratios) == 0:
+            return 0.0
+        return max(ratios) / min(ratios)
+
+    def to_dict(self) -> dict:
+        lat = sorted(x for c in self.clients for x in c.latencies)
+        return {
+            "clients": len(self.clients),
+            "speed": self.speed,
+            "sent": self.sent,
+            "received": self.received,
+            "ok": self.ok,
+            "cached": self.cached,
+            "dropped": self.dropped,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "requests_per_second": round(
+                self.received / self.wall_seconds, 2)
+            if self.wall_seconds > 0 else 0.0,
+            "latency_ms": {
+                "p50": round(percentile(lat, 50) * 1000, 3),
+                "p90": round(percentile(lat, 90) * 1000, 3),
+                "p99": round(percentile(lat, 99) * 1000, 3),
+                "p999": round(percentile(lat, 99.9) * 1000, 3),
+            },
+            "digests": self.digests,
+        }
+
+
+def _replay_client(address: Address, events: Sequence[TraceEvent],
+                   speed: float, depth: int,
+                   result: ReplayClientResult,
+                   digest_payload: Callable[[dict], bytes]) -> None:
+    client = ServeClient(address)
+    hasher = hashlib.sha256()
+    window: List[tuple] = []   # (send time, tenant)
+
+    def drain(target: int) -> None:
+        while len(window) > target:
+            started, tenant = window.pop(0)
+            line = client.recv_raw()
+            result.received += 1
+            result.latencies.append(time.monotonic() - started)
+            hasher.update(digest_payload(json.loads(line)))
+            response = json.loads(line)
+            okay = bool(response.get("ok"))
+            result.tenant_order.append((tenant, okay))
+            if okay:
+                result.ok += 1
+                if response["result"].get("cached"):
+                    result.cached += 1
+            else:
+                result.errors[response["error"]["code"]] = \
+                    result.errors.get(response["error"]["code"], 0) + 1
+
+    start = time.monotonic()
+    try:
+        for seq, event in enumerate(events, 1):
+            if speed > 0:
+                delay = start + event.t / speed - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            client.send({"id": seq, **event.payload})
+            tenant = event.payload.get("tenant", "")
+            if tenant:
+                result.tenant_sent[tenant] = \
+                    result.tenant_sent.get(tenant, 0) + 1
+            window.append((time.monotonic(), tenant))
+            result.sent += 1
+            if len(window) >= depth:
+                drain(depth - 1)
+        drain(0)
+        result.digest = hasher.hexdigest()
+    except Exception as exc:
+        result.failure = f"{type(exc).__name__}: {exc}"
+    finally:
+        try:
+            client.close()
+        except Exception:
+            pass
+
+
+def replay_trace(address: Address, events: Sequence[TraceEvent],
+                 speed: float = 1.0, depth: int = 64,
+                 digest_fields: Optional[Sequence[str]] = None
+                 ) -> ReplayResult:
+    """Replay *events* against a daemon or fleet at *address*.
+
+    ``speed`` scales the recorded inter-arrival gaps (0 = flat out);
+    ``depth`` bounds per-connection pipelining.  By default the
+    response digest covers the raw bytes; ``digest_fields`` narrows it
+    to named response keys (e.g. drop ``compile_ms`` when comparing a
+    cold run against a warm one).
+    """
+    if speed < 0:
+        raise ValueError("speed must be >= 0")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    by_client: Dict[int, List[TraceEvent]] = {}
+    for event in events:
+        by_client.setdefault(event.client, []).append(event)
+    for stream in by_client.values():
+        stream.sort(key=lambda e: e.t)
+
+    if digest_fields is None:
+        def digest_payload(response: dict) -> bytes:
+            return json.dumps(response,
+                              separators=(",", ":")).encode()
+    else:
+        keep = tuple(digest_fields)
+
+        def digest_payload(response: dict) -> bytes:
+            view = {
+                "id": response.get("id"), "ok": response.get("ok"),
+                "result": {k: v for k, v
+                           in (response.get("result") or {}).items()
+                           if k in keep},
+                "error": response.get("error"),
+            }
+            return json.dumps(view, separators=(",", ":"),
+                              sort_keys=True).encode()
+
+    results = [ReplayClientResult(client=cid)
+               for cid in sorted(by_client)]
+    threads = []
+    started = time.perf_counter()
+    for result, cid in zip(results, sorted(by_client)):
+        thread = threading.Thread(
+            target=_replay_client,
+            args=(address, by_client[cid], speed, depth, result,
+                  digest_payload),
+            name=f"replay-{cid}", daemon=True)
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return ReplayResult(clients=results,
+                        wall_seconds=time.perf_counter() - started,
+                        speed=speed)

@@ -63,10 +63,15 @@ def signature(report):
 
 def every_disk_entry(directory):
     """Yield every sharded ``.pkl`` entry, unpickled (raises on a torn
-    or corrupt file — the corruption check)."""
+    or corrupt file — the corruption check).  Transient files — a
+    writer's ``.tmp-*.pkl`` or an evictor's ``.tomb-*`` rename — are
+    legitimate mid-race states, not entries; everything else must be a
+    complete pickled entry."""
     for root, _dirs, files in os.walk(directory):
         for filename in files:
             path = os.path.join(root, filename)
+            if filename.startswith(".") or ".tomb-" in filename:
+                continue
             assert filename.endswith(".pkl"), f"stray file {path}"
             with open(path, "rb") as handle:
                 yield path, pickle.loads(handle.read())
@@ -275,3 +280,146 @@ class TestSuperoptMemoContention:
                 kinds["result"] += 1
         assert kinds["result"] == len(batch)
         assert kinds["memo"] > 0
+
+
+class TestEvictionContention:
+    """PR 10 fleet semantics: N evictors and readers race on one tree.
+
+    The tombstone contract — ``os.replace`` to a ``.tomb-*`` name, then
+    unlink — means every removal is claimed by exactly one sweeper, a
+    reader never sees a half-deleted entry, and an eviction storm never
+    loses an update that a later compile re-stores.
+    """
+
+    def _populate(self, directory):
+        cache = CompilationCache(directory=str(directory))
+        MerlinPipeline().compile_many(BATCH, cache=cache)
+        return cache
+
+    def test_racing_sweepers_expire_each_entry_exactly_once(self, tmp_path):
+        self._populate(tmp_path)
+        sweepers = [CompilationCache(directory=str(tmp_path),
+                                     ttl_seconds=0.001)
+                    for _ in range(4)]
+        barrier = threading.Barrier(len(sweepers))
+        future = __import__("time").time() + 3600  # everything is idle
+
+        def run(cache):
+            barrier.wait()
+            cache.sweep(now=future)
+
+        threads = [threading.Thread(target=run, args=(cache,))
+                   for cache in sweepers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total_expired = sum(c.stats.expired for c in sweepers)
+        assert total_expired == len(BATCH)  # exactly once, no double count
+        assert list(every_disk_entry(tmp_path)) == []
+
+    def test_size_budget_race_never_over_evicts(self, tmp_path):
+        self._populate(tmp_path)
+        entries = list(every_disk_entry(tmp_path))
+        keep = max(os.path.getsize(path) for path, _ in entries)
+        sweepers = [CompilationCache(directory=str(tmp_path),
+                                     max_disk_bytes=keep)
+                    for _ in range(3)]
+        threads = [threading.Thread(target=cache.sweep)
+                   for cache in sweepers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        survivors = list(every_disk_entry(tmp_path))
+        assert survivors  # the budget admits at least one entry
+        evicted = sum(c.stats.disk_evictions for c in sweepers)
+        assert evicted == len(entries) - len(survivors)
+
+    def test_eviction_never_tears_inflight_reads(self, tmp_path):
+        """Readers (forced to disk each time) race an eviction/re-store
+        churn loop: every read is a complete entry or a clean miss —
+        ``read_errors`` (the torn-bytes counter) stays zero."""
+        self._populate(tmp_path)
+        pipeline = MerlinPipeline()
+        reference = pipeline.compile_many(BATCH)
+        stop = threading.Event()
+        readers = [CompilationCache(directory=str(tmp_path))
+                   for _ in range(3)]
+        seen = {id(cache): 0 for cache in readers}
+
+        def read_loop(cache):
+            while not stop.is_set():
+                cache.clear_memory()  # every get goes to disk
+                result = pipeline.compile_many(BATCH, cache=cache)
+                assert signature(result) == signature(reference)
+                seen[id(cache)] += 1
+
+        threads = [threading.Thread(target=read_loop, args=(cache,))
+                   for cache in readers]
+        for thread in threads:
+            thread.start()
+        churn = CompilationCache(directory=str(tmp_path),
+                                 max_disk_bytes=0)
+        writer = CompilationCache(directory=str(tmp_path))
+        for _ in range(10):
+            churn.sweep()  # evict the whole tree...
+            MerlinPipeline().compile_many(BATCH, cache=writer)  # ...restore
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert all(count > 0 for count in seen.values())
+        for cache in readers + [churn, writer]:
+            assert cache.stats.read_errors == 0
+
+    def test_warm_hits_recover_after_eviction_storm(self, tmp_path):
+        self._populate(tmp_path)
+        CompilationCache(directory=str(tmp_path), max_disk_bytes=0).sweep()
+        assert list(every_disk_entry(tmp_path)) == []
+        # traffic re-stores the keys; a fresh reader then hits them all
+        restore = CompilationCache(directory=str(tmp_path))
+        MerlinPipeline().compile_many(BATCH, cache=restore)
+        fresh = CompilationCache(directory=str(tmp_path))
+        warm = MerlinPipeline().compile_many(BATCH, cache=fresh)
+        assert warm.cache_stats.hits == len(BATCH)
+        assert warm.cache_stats.misses == 0
+
+    def test_two_daemons_share_store_under_aggressive_sweep(self, tmp_path):
+        """Two shard daemons (the fleet's cache topology, minus the
+        router) sweep one tree on a tight TTL while clients stream:
+        every response is ok, nothing tears, and entries the sweeps
+        removed come back on the next pass."""
+        configs = [ServeConfig(cache_dir=str(tmp_path), max_batch=8,
+                               max_delay=0.005, cache_ttl=0.3,
+                               sweep_interval=0.1, shard_id=index)
+                   for index in range(2)]
+        payloads = [{"op": "compile", "name": name, "source": source,
+                     "entry": name, "prog_type": "tracepoint",
+                     "ctx_size": 64}
+                    for name, source in SOURCES]
+        import time as _time
+        with DaemonThread(configs[0]) as one, \
+                DaemonThread(configs[1]) as two:
+            with ServeClient(one.address) as ca, \
+                    ServeClient(two.address) as cb:
+                for _round in range(3):
+                    ra = ca.compile_pipelined(payloads * 2)
+                    rb = cb.compile_pipelined(payloads * 2)
+                    assert all(r["ok"] for r in ra + rb)
+                    _time.sleep(0.45)  # TTL + both sweepers bite
+                # the tree was churned; traffic restores it and the
+                # repeat pass is warm again on both daemons
+                assert all(r["ok"] for r in ca.compile_pipelined(payloads))
+                assert all(r["ok"] for r in cb.compile_pipelined(payloads))
+                warm_a = ca.compile_pipelined(payloads)
+                warm_b = cb.compile_pipelined(payloads)
+                assert all(r["result"]["cached"] for r in warm_a + warm_b)
+            stats = [one.daemon.snapshot(), two.daemon.snapshot()]
+        for snap in stats:
+            assert snap["cache"]["read_errors"] == 0
+            assert snap["cache"]["write_errors"] == 0
+        assert sum(s["cache"]["expired"] for s in stats) > 0
+        for _path, (program, report) in every_disk_entry(tmp_path):
+            assert program.ni == report.ni_optimized

@@ -450,6 +450,32 @@ class TestShutdown:
         assert all(c == "shutting-down" for c in codes)
         assert any(r["ok"] for r in responses)
 
+    def test_drain_completes_with_held_connection(self):
+        """Regression: a client that keeps its connection open after
+        the drain must not wedge shutdown.  From Python 3.12,
+        ``Server.wait_closed`` also waits for every accepted transport
+        to detach, so awaiting it before connection teardown deadlocks
+        against exactly this client."""
+        config = ServeConfig(max_batch=4, max_delay=0.01)
+        handle = DaemonThread(config).start()
+        client = ServeClient(handle.address)
+        try:
+            ids = [client.send(payload(*SOURCES[i % len(SOURCES)]))
+                   for i in range(6)]
+            # the SIGTERM-handler path: stop arrives from outside the
+            # protocol while the client holds its socket open
+            handle.daemon.request_stop(drain=True)
+            responses = [client.recv() for _ in ids]
+            assert [r["id"] for r in responses] == ids
+            assert all(r["ok"] for r in responses), responses
+            # the daemon must close the connection out from under us
+            # (EOF), not wait for us to hang up first
+            assert client._rfile.readline() == b""
+        finally:
+            client.close()
+            handle.stop()
+        assert not handle._thread.is_alive()
+
     def test_shutdown_op_acks_then_stops(self):
         config = ServeConfig(max_delay=0.005)
         handle = DaemonThread(config).start()
@@ -737,3 +763,196 @@ class TestSuperoptRequests:
         assert responses[1]["error"]["code"] == "compile-error"
         for index in (0, 2):
             assert "superopt" in responses[index]["result"]
+
+
+# ======================================== tenants + priorities (PR 10)
+class TestTenantPriorityProtocol:
+    def test_defaults(self):
+        request = parse_request(protocol.encode(payload(*SOURCES[0])))
+        assert request.tenant == ""
+        assert request.priority == 0
+
+    def test_explicit_values_parse(self):
+        request = parse_request(protocol.encode(
+            payload(*SOURCES[0], tenant="team-a", priority=7)))
+        assert request.tenant == "team-a"
+        assert request.priority == 7
+
+    @pytest.mark.parametrize("extra", [
+        {"tenant": 42},
+        {"tenant": "x" * (protocol.MAX_TENANT_CHARS + 1)},
+        {"priority": -1},
+        {"priority": protocol.MAX_PRIORITY + 1},
+        {"priority": "high"},
+        {"priority": True},
+    ], ids=["tenant-type", "tenant-length", "prio-negative",
+            "prio-too-high", "prio-type", "prio-bool"])
+    def test_bad_values_rejected(self, extra):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(protocol.encode(payload(*SOURCES[0], **extra)))
+        assert err.value.code == "bad-request"
+
+    def test_excluded_from_config_key(self):
+        # tenant/priority shape scheduling, never compilation: requests
+        # differing only in them must share one admission group (and,
+        # downstream, one cache entry)
+        plain = parse_request(protocol.encode(payload(*SOURCES[0])))
+        tagged = parse_request(protocol.encode(
+            payload(*SOURCES[0], tenant="team-a", priority=9)))
+        assert plain.config_key == tagged.config_key
+
+    def test_daemon_accepts_and_counts_tenants(self):
+        config = ServeConfig(max_batch=8, max_delay=0.01)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                for tenant in ("team-a", "team-a", "team-b"):
+                    response = client.request(payload(
+                        *SOURCES[0], tenant=tenant, priority=2),
+                        check=True)
+                    assert response["ok"]
+            snapshot = handle.daemon.snapshot()
+        fairness = snapshot["fairness"]
+        assert fairness["served_by_tenant"]["team-a"] == 2
+        assert fairness["served_by_tenant"]["team-b"] == 1
+        assert fairness["served_by_priority"]["2"] == 3
+
+
+class TestFairAdmissionQueue:
+    """Unit tests for the weighted-fair priority queue (no daemon)."""
+
+    def _drain(self, queue):
+        import asyncio
+
+        out = []
+        while True:
+            try:
+                out.append(queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return out
+
+    def test_higher_priority_drains_first(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue()
+        queue.put_nowait("low-1", priority=0)
+        queue.put_nowait("high", priority=9)
+        queue.put_nowait("low-2", priority=0)
+        queue.put_nowait("mid", priority=4)
+        assert self._drain(queue) == ["high", "mid", "low-1", "low-2"]
+
+    def test_round_robin_across_backlogged_tenants(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue()
+        for i in range(6):
+            queue.put_nowait(f"a{i}", tenant="a")
+        queue.put_nowait("b0", tenant="b")
+        queue.put_nowait("c0", tenant="c")
+        order = self._drain(queue)
+        # the light tenants are served within the first round — a
+        # six-deep backlog cannot starve them
+        assert order.index("b0") <= 2
+        assert order.index("c0") <= 2
+        assert order[-4:] == ["a2", "a3", "a4", "a5"]
+
+    def test_weights_skew_service_proportionally(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue(weights={"big": 3})
+        for i in range(6):
+            queue.put_nowait(f"big{i}", tenant="big")
+            queue.put_nowait(f"small{i}", tenant="small")
+        order = self._drain(queue)
+        # weight 3 vs 1: the first service round is 3 bigs to 1 small
+        first_round = order[:4]
+        assert sum(1 for x in first_round if x.startswith("big")) == 3
+        assert sum(1 for x in first_round if x.startswith("small")) == 1
+        assert len(order) == 12  # nothing lost
+
+    def test_fifo_within_one_tenant(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue()
+        for i in range(5):
+            queue.put_nowait(i, tenant="t")
+        assert self._drain(queue) == [0, 1, 2, 3, 4]
+
+    def test_control_items_bypass_everything(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue(maxsize=1)
+        queue.put_nowait("request", priority=9)
+        queue.put_control("stop")        # exempt from maxsize too
+        assert queue.qsize() == 2
+        assert queue.get_nowait() == "stop"
+        assert queue.get_nowait() == "request"
+
+    def test_overflow_raises_queue_full(self):
+        import asyncio
+
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue(maxsize=2)
+        queue.put_nowait(1)
+        queue.put_nowait(2)
+        with pytest.raises(asyncio.QueueFull):
+            queue.put_nowait(3)
+
+    def test_async_get_wakes_on_put(self):
+        import asyncio
+
+        from repro.serve.fairness import FairAdmissionQueue
+
+        async def scenario():
+            queue = FairAdmissionQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)       # getter parks on a waiter
+            queue.put_nowait("item", priority=3, tenant="t")
+            return await asyncio.wait_for(getter, timeout=5)
+
+        assert asyncio.run(scenario()) == "item"
+
+    def test_backlog_snapshot(self):
+        from repro.serve.fairness import FairAdmissionQueue
+
+        queue = FairAdmissionQueue()
+        queue.put_nowait("x", priority=5, tenant="a")
+        queue.put_nowait("y", priority=5, tenant="a")
+        queue.put_nowait("z", priority=0, tenant="b")
+        assert queue.backlog() == {5: {"a": 2}, 0: {"b": 1}}
+
+
+class TestPriorityPreemption:
+    def test_high_priority_cuts_the_linger_timer(self):
+        """With a long admission window, a priority >= preempt_priority
+        arrival must dispatch immediately instead of waiting out the
+        linger — the preempted-batches counter records it."""
+        import time
+
+        config = ServeConfig(max_batch=64, max_delay=0.5,
+                             preempt_priority=1)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                client.request(payload(*SOURCES[0]), check=True)  # warm up
+                started = time.monotonic()
+                response = client.request(
+                    payload(*SOURCES[1], priority=5), check=True)
+                elapsed = time.monotonic() - started
+                assert response["ok"]
+                assert elapsed < 0.4  # did not linger the full 500ms
+            snapshot = handle.daemon.snapshot()
+        assert snapshot["batches"]["preempted"] >= 1
+
+    def test_default_priority_still_batches(self):
+        """Priority-0 traffic must keep the PR-5 batching behavior:
+        pipelined requests land in shared admission batches."""
+        config = ServeConfig(max_batch=8, max_delay=0.05,
+                             preempt_priority=1)
+        with DaemonThread(config) as handle:
+            with ServeClient(handle.address) as client:
+                responses = client.compile_pipelined(
+                    [payload(*SOURCES[i % len(SOURCES)])
+                     for i in range(8)])
+                assert all(r["ok"] for r in responses)
+            snapshot = handle.daemon.snapshot()
+        assert snapshot["batches"]["max_size"] > 1
